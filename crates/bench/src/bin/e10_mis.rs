@@ -1,0 +1,66 @@
+//! E10 — framework generality (paper §4.1): Luby's MIS derandomized with
+//! the same PRG + conditional-expectations stack as coloring.
+
+use parcolor_bench::{f2, s, scaled, timed, Table};
+use parcolor_core::mis::{derandomized_luby_mis, luby_mis, verify_mis};
+use parcolor_core::SeedStrategy;
+use parcolor_graphgen::{gnm, power_law, torus};
+
+fn main() {
+    println!("# E10: Luby MIS — randomized vs derandomized\n");
+    let n = scaled(6_000, 1_000);
+    let side = (n as f64).sqrt() as usize;
+    let suite = vec![
+        ("gnm d=10", gnm(n, n * 5, 1)),
+        ("powerlaw", power_law(n, 2.5, 8.0, 2)),
+        ("torus", torus(side, side)),
+    ];
+
+    let mut t = Table::new(&[
+        "instance",
+        "method",
+        "rounds",
+        "|MIS|",
+        "max round defers",
+        "ms",
+    ]);
+    for (name, g) in &suite {
+        let (r, ms) = timed(|| luby_mis(g, 7, 10_000));
+        verify_mis(g, &r.in_mis).unwrap();
+        t.row(&[
+            s(name),
+            s("randomized"),
+            s(r.rounds),
+            s(r.in_mis.iter().filter(|&&b| b).count()),
+            s("-"),
+            parcolor_bench::f1(ms),
+        ]);
+        let (d, ms) = timed(|| derandomized_luby_mis(g, 7, SeedStrategy::FixedSubset(32), 10_000));
+        verify_mis(g, &d.in_mis).unwrap();
+        t.row(&[
+            s(name),
+            s("derandomized"),
+            s(d.rounds),
+            s(d.in_mis.iter().filter(|&&b| b).count()),
+            s(d.deferrals_per_round.iter().copied().max().unwrap_or(0)),
+            parcolor_bench::f1(ms),
+        ]);
+        // Guarantee audit.
+        for (cost, mean) in &d.guarantee_checks {
+            assert!(cost <= &(mean + 1e-9), "guarantee violated");
+        }
+    }
+    t.print();
+    println!("\nDerandomized rounds stay within a small factor of randomized —");
+    println!("and every round's chosen seed beat the seed-space mean (audited).");
+    let g = gnm(scaled(2_000, 500), scaled(2_000, 500) * 4, 9);
+    let a = derandomized_luby_mis(&g, 7, SeedStrategy::Exhaustive, 10_000);
+    let b = derandomized_luby_mis(&g, 7, SeedStrategy::Exhaustive, 10_000);
+    assert_eq!(a.in_mis, b.in_mis);
+    println!("Determinism check on a fresh instance: identical MIS twice ✓");
+    println!(
+        "(exhaustive mean-vs-chosen on round 1: {:.2} vs {:.0})",
+        a.guarantee_checks[0].1, a.guarantee_checks[0].0
+    );
+    let _ = f2(0.0);
+}

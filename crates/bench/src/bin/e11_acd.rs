@@ -1,0 +1,58 @@
+//! E11 — almost-clique decomposition quality (Definition 3) on planted
+//! instances: recall of planted cliques, classification of the sparse
+//! cloud, and violations of properties (iii)/(iv).
+
+use parcolor_bench::{f2, s, scaled, Table};
+use parcolor_core::hknt::acd::{compute_acd, NodeClass};
+use parcolor_core::instance::ColoringState;
+use parcolor_core::node_params::compute_params;
+use parcolor_core::{D1lcInstance, NodeId, Params};
+use parcolor_graphgen::planted_cliques;
+
+fn main() {
+    println!("# E11: ACD quality on planted almost-cliques\n");
+    let sparse_n = scaled(3_000, 600);
+    let mut t = Table::new(&[
+        "clique size",
+        "eps (removed)",
+        "cliques found",
+        "planted",
+        "clique recall %",
+        "cloud as dense",
+        "def3 violations",
+    ]);
+    for &(size, k) in &[(24usize, 4usize), (40, 3), (64, 2)] {
+        for &eps in &[0.0, 0.1, 0.2] {
+            let sizes = vec![size; k];
+            let g = planted_cliques(&sizes, eps, sparse_n, 6, 42);
+            let inst = D1lcInstance::delta_plus_one(g.clone());
+            let st = ColoringState::new(&inst);
+            let nodes: Vec<NodeId> = (0..g.n() as NodeId).collect();
+            let active = vec![true; g.n()];
+            let params = Params::default();
+            let table = compute_params(&g, &st, &nodes, &active);
+            let acd = compute_acd(&g, &nodes, &active, &table, &params);
+            // Recall: planted-clique members classified Dense.
+            let clique_total: usize = sizes.iter().sum();
+            let recalled = (0..clique_total as NodeId)
+                .filter(|&v| matches!(acd.class[v as usize], NodeClass::Dense(_)))
+                .count();
+            let cloud_dense = (clique_total as NodeId..g.n() as NodeId)
+                .filter(|&v| matches!(acd.class[v as usize], NodeClass::Dense(_)))
+                .count();
+            let violations = acd.violations(&g, &active, &table, &params).len();
+            t.row(&[
+                s(size),
+                f2(eps),
+                s(acd.cliques.len()),
+                s(k),
+                f2(100.0 * recalled as f64 / clique_total as f64),
+                s(cloud_dense),
+                s(violations),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nShape: recall near 100% at eps=0, degrading gracefully as planted");
+    println!("cliques blur; the sparse cloud should (almost) never turn dense.");
+}

@@ -1,0 +1,92 @@
+//! E14 — self-reducibility (Definition 11), measured: the invariant
+//! `p(v) ≥ d(v) + 1` under randomized partial colorings, and the slack
+//! *gain* from deferrals (the WSP mechanism: deferring can only help).
+
+use parcolor_bench::{f2, s, scaled, Table};
+use parcolor_core::instance::ColoringState;
+use parcolor_core::{D1lcInstance, NodeId};
+use parcolor_graphgen::{gnm, power_law};
+use parcolor_local::tape::SplitMix;
+
+fn main() {
+    println!("# E14: self-reducibility invariant + deferral slack gain\n");
+    let n = scaled(4_000, 800);
+    let suite = vec![
+        ("gnm d=10", gnm(n, n * 5, 1)),
+        ("powerlaw", power_law(n, 2.5, 8.0, 2)),
+    ];
+
+    let mut t = Table::new(&[
+        "instance",
+        "colored %",
+        "min slack",
+        "mean slack",
+        "invariant",
+    ]);
+    for (name, g) in &suite {
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let mut state = ColoringState::new(&inst);
+        let mut rng = SplitMix::new(33);
+        // Random valid partial coloring of ~60% of nodes, one at a time.
+        for _ in 0..(n * 6 / 10) {
+            let unc = state.uncolored_nodes();
+            if unc.is_empty() {
+                break;
+            }
+            let v = unc[rng.below(unc.len() as u64) as usize];
+            let pal = state.palette(v).to_vec();
+            let c = pal[rng.below(pal.len() as u64) as usize];
+            state.apply_adoptions(g, &[(v, c)]);
+        }
+        let unc = state.uncolored_nodes();
+        let slacks: Vec<i64> = unc.iter().map(|&v| state.slack(v)).collect();
+        let min_slack = slacks.iter().copied().min().unwrap_or(0);
+        let mean_slack = slacks.iter().sum::<i64>() as f64 / slacks.len().max(1) as f64;
+        t.row(&[
+            s(name),
+            f2(100.0 * state.colored_count() as f64 / n as f64),
+            s(min_slack),
+            f2(mean_slack),
+            s(if state.invariant_violation().is_none() {
+                "holds (p ≥ d+1)"
+            } else {
+                "VIOLATED"
+            }),
+        ]);
+    }
+    t.print();
+
+    // Deferral gain: stage slack with X% of the stage deferred.
+    println!("\nDeferral slack gain (gnm instance, stage = all nodes):");
+    let g = &suite[0].1;
+    let inst = D1lcInstance::delta_plus_one(g.clone());
+    let state = ColoringState::new(&inst);
+    let mut t2 = Table::new(&["deferred %", "mean stage slack", "min stage slack"]);
+    for &pct in &[0usize, 10, 25, 50] {
+        let keep: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| (v as usize * 100 / n) % 100 >= pct)
+            .collect();
+        let mask = {
+            let mut m = vec![false; n];
+            for &v in &keep {
+                m[v as usize] = true;
+            }
+            m
+        };
+        let slacks: Vec<i64> = keep
+            .iter()
+            .map(|&v| {
+                let d = g.neighbors(v).iter().filter(|&&u| mask[u as usize]).count() as i64;
+                state.palette_size(v) as i64 - d
+            })
+            .collect();
+        t2.row(&[
+            s(pct),
+            f2(slacks.iter().sum::<i64>() as f64 / slacks.len().max(1) as f64),
+            s(slacks.iter().copied().min().unwrap_or(0)),
+        ]);
+    }
+    t2.print();
+    println!("\nMean stage slack rises monotonically with the deferred fraction —");
+    println!("the WSP mechanism of Definition 5, measured.");
+}

@@ -1,0 +1,61 @@
+//! E9 — PRG chunk-assignment ablation: the paper's power-graph coloring
+//! (`O(Δ^{8τ})` chunks, needs `G^{4τ}`) vs our per-node chunks (virtual
+//! output).  Compares setup cost, chunk counts, and resulting step
+//! quality on the same instance.
+
+use parcolor_bench::{f1, f2, s, scaled, timed, Table};
+use parcolor_core::framework::Runner;
+use parcolor_core::hknt::procs::{SspMode, StageSet, TryRandomColor};
+use parcolor_core::instance::ColoringState;
+use parcolor_core::{ChunkMode, D1lcInstance, NodeId, Params};
+use parcolor_graphgen::{gnm, ring, torus};
+
+fn main() {
+    println!("# E9: chunk-assignment ablation (PowerColoring vs PerNode)\n");
+    let n = scaled(1_200, 400);
+    let suite = vec![
+        ("ring", ring(n)),
+        (
+            "torus",
+            torus((n as f64).sqrt() as usize, (n as f64).sqrt() as usize),
+        ),
+        ("gnm d=4", gnm(n, n * 2, 3)),
+    ];
+
+    let mut t = Table::new(&[
+        "instance",
+        "mode",
+        "setup ms",
+        "chosen failures",
+        "mean failures",
+        "colored",
+    ]);
+    for (name, g) in &suite {
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        for mode in [ChunkMode::PowerColoring, ChunkMode::PerNode] {
+            let params = Params::default().with_seed_bits(7).with_chunking(mode);
+            let ((mut runner, mut state), setup_ms) = timed(|| {
+                (
+                    Runner::derandomized(g, &params, g.n()),
+                    ColoringState::new(&inst),
+                )
+            });
+            let set = StageSet::new(g.n(), (0..g.n() as NodeId).collect());
+            let proc = TryRandomColor::new(g, set, SspMode::Colored, 1);
+            let rep = runner.run_step(&proc, &mut state);
+            let sel = rep.selection.unwrap();
+            t.row(&[
+                s(name),
+                s(format!("{mode:?}")),
+                f1(setup_ms),
+                f2(sel.cost),
+                f2(sel.mean_cost),
+                s(rep.adopted),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nBoth modes satisfy the guarantee; PowerColoring pays the G^{{4τ}}");
+    println!("construction (quadratic in Δ^{{4τ}}) which PerNode avoids entirely —");
+    println!("the substitution recorded in DESIGN.md §5.");
+}

@@ -1,0 +1,179 @@
+//! `parcolor` — deterministic (degree+1)-list coloring from the shell.
+//!
+//! ```text
+//! parcolor solve  <graph.col> [-o coloring.txt] [--randomized <key>] [--seed-bits B]
+//! parcolor verify <graph.col> <coloring.txt>
+//! parcolor gen    <family> <n> <param> [seed] [-o graph.col]
+//! parcolor stats  <graph.col>
+//! ```
+//!
+//! Families for `gen`: `gnm` (param = m), `gnp` (param = p·1000),
+//! `regular` (param = d), `powerlaw` (param = avg-degree), `ring`,
+//! `torus` (param = side).
+
+use parcolor_cli::{instance_of, parse_coloring, parse_dimacs, write_coloring, write_dimacs};
+use parcolor_core::{Params, SeedStrategy, Solver};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  parcolor solve  <graph.col> [-o out.txt] [--randomized <key>] [--seed-bits B]\n  parcolor verify <graph.col> <coloring.txt>\n  parcolor gen    <gnm|gnp|regular|powerlaw|ring|torus> <n> <param> [seed] [-o out.col]\n  parcolor stats  <graph.col>"
+    );
+    exit(2)
+}
+
+fn open(path: &str) -> BufReader<File> {
+    BufReader::new(File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1)
+    }))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_solve(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    let g = parse_dimacs(open(path)).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        exit(1)
+    });
+    let inst = instance_of(g);
+    let seed_bits: u32 = flag_value(args, "--seed-bits")
+        .map(|s| s.parse().expect("--seed-bits"))
+        .unwrap_or(6);
+    let params = Params::default()
+        .with_seed_bits(seed_bits)
+        .with_strategy(SeedStrategy::FixedSubset(16));
+    let sol = match flag_value(args, "--randomized") {
+        Some(key) => Solver::randomized(params, key.parse().expect("key")).solve(&inst),
+        None => Solver::deterministic(params).solve(&inst),
+    };
+    inst.verify_coloring(&sol.colors)
+        .expect("internal: invalid");
+    eprintln!(
+        "solved: n={} m={} Δ={}  MPC rounds={}  LOCAL rounds={}  peak machine words={}",
+        inst.n(),
+        inst.graph.m(),
+        inst.graph.max_degree(),
+        sol.cost.mpc_rounds,
+        sol.cost.local_rounds,
+        sol.cost.max_machine_words
+    );
+    match flag_value(args, "-o") {
+        Some(out) => {
+            let f = BufWriter::new(File::create(out).expect("create output"));
+            write_coloring(f, &sol.colors).expect("write");
+            eprintln!("coloring written to {out}");
+        }
+        None => {
+            write_coloring(std::io::stdout().lock(), &sol.colors).expect("write");
+        }
+    }
+}
+
+fn cmd_verify(args: &[String]) {
+    let (gp, cp) = match args {
+        [g, c, ..] => (g, c),
+        _ => usage(),
+    };
+    let g = parse_dimacs(open(gp)).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        exit(1)
+    });
+    let inst = instance_of(g);
+    let colors = parse_coloring(open(cp), inst.n()).unwrap_or_else(|e| {
+        eprintln!("coloring parse error: {e}");
+        exit(1)
+    });
+    match inst.verify_coloring(&colors) {
+        Ok(()) => {
+            let mut distinct: Vec<u32> = colors.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            println!(
+                "VALID: {} nodes, {} distinct colors",
+                inst.n(),
+                distinct.len()
+            );
+        }
+        Err(e) => {
+            println!("INVALID: {e}");
+            exit(1)
+        }
+    }
+}
+
+fn cmd_gen(args: &[String]) {
+    let (family, n, param) = match args {
+        [f, n, p, ..] => (
+            f.as_str(),
+            n.parse::<usize>().expect("n"),
+            p.parse::<usize>().expect("param"),
+        ),
+        _ => usage(),
+    };
+    let seed: u64 = args
+        .get(3)
+        .filter(|s| !s.starts_with('-'))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let g = match family {
+        "gnm" => parcolor_graphgen::gnm(n, param, seed),
+        "gnp" => parcolor_graphgen::gnp(n, param as f64 / 1000.0, seed),
+        "regular" => parcolor_graphgen::random_regular(n, param, seed),
+        "powerlaw" => parcolor_graphgen::power_law(n, 2.5, param as f64, seed),
+        "ring" => parcolor_graphgen::ring(n),
+        "torus" => parcolor_graphgen::torus(param, param),
+        other => {
+            eprintln!("unknown family {other}");
+            exit(2)
+        }
+    };
+    let comment = format!("parcolor gen {family} n={n} param={param} seed={seed}");
+    match flag_value(args, "-o") {
+        Some(out) => {
+            let f = BufWriter::new(File::create(out).expect("create output"));
+            write_dimacs(f, &g, &comment).expect("write");
+            eprintln!("graph written to {out} (n={} m={})", g.n(), g.m());
+        }
+        None => write_dimacs(std::io::stdout().lock(), &g, &comment).expect("write"),
+    }
+}
+
+fn cmd_stats(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    let g = parse_dimacs(open(path)).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        exit(1)
+    });
+    let (comp, ncomp) = g.components();
+    let degsum: usize = (0..g.n() as u32).map(|v| g.degree(v)).sum();
+    println!("n          = {}", g.n());
+    println!("m          = {}", g.m());
+    println!("Δ          = {}", g.max_degree());
+    println!("avg degree = {:.2}", degsum as f64 / g.n().max(1) as f64);
+    println!("components = {ncomp}");
+    let biggest = (0..ncomp)
+        .map(|c| comp.iter().filter(|&&x| x == c as u32).count())
+        .max()
+        .unwrap_or(0);
+    println!("largest cc = {biggest}");
+}

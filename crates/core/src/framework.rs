@@ -1,0 +1,524 @@
+//! The derandomization framework (Section 4 of the paper).
+//!
+//! * [`NormalProcedure`] encodes Definition 5: a short randomized LOCAL
+//!   procedure with a per-node **strong success property** (SSP, holds
+//!   w.h.p. under true randomness) whose failures can be **deferred**
+//!   without hurting anyone else (the weak success property).  For the
+//!   coloring procedures this holds because deferring a node removes it
+//!   from neighbors' competition while blocking no palette colors — slack
+//!   only grows.  The invariant is machine-checked by the property tests.
+//! * [`Runner`] executes a series of procedures either **randomized**
+//!   (CryptoTape, Lemma 4) or **derandomized** (Lemma 10: simulate under
+//!   every PRG seed, pick one with at most the mean number of SSP failures
+//!   via `parcolor-prg::select_seed`, defer the failures).
+//!
+//! Theorem 12's outer loop — re-running the whole series on the deferred
+//! residual instance `O(1/δ)` times, then finishing greedily on one
+//! machine — lives in `solver.rs`, because it needs D1LC's
+//! self-reducibility (`ColoringState::residual_instance`).
+
+use crate::config::{ChunkMode, Params};
+use crate::instance::ColoringState;
+use crate::linial::linial_coloring;
+use parcolor_local::engine::RoundEngine;
+use parcolor_local::graph::{Graph, NodeId};
+use parcolor_local::power::power_graph;
+use parcolor_local::tape::{CryptoTape, Randomness};
+use parcolor_mpc::{MpcConfig, NodeMpc};
+use parcolor_prg::{select_seed, ChunkAssignment, Prg, PrgTape, SeedSelection, SeedStrategy};
+use serde::Serialize;
+
+/// Output of simulating one normal procedure (the `Out_v` of Definition 5,
+/// gathered for the whole graph).
+#[derive(Clone, Debug, Default)]
+pub struct Outcome {
+    /// Conflict-free color adoptions proposed by the procedure.
+    pub adoptions: Vec<(NodeId, u32)>,
+    /// Procedure-specific extra output (e.g. PutAside's sampled set).
+    pub aux: Vec<NodeId>,
+}
+
+/// A normal `(τ, Δ)`-round distributed procedure (Definition 5).
+///
+/// Implementations must keep `simulate` **pure**: the outcome must be a
+/// deterministic function of `(state, rng)` and must not mutate anything —
+/// the derandomizer calls it once per candidate seed, in parallel.
+pub trait NormalProcedure: Sync {
+    /// Human-readable procedure name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Locality radius τ (all procedures in this repo are O(1)-round).
+    fn tau(&self) -> u32 {
+        1
+    }
+
+    /// LOCAL rounds one execution costs (charged to the round engine).
+    fn local_rounds(&self) -> u64 {
+        2
+    }
+
+    /// Number of participating nodes (for reporting and failure bounds).
+    fn active_count(&self) -> usize;
+
+    /// Simulate the procedure on the current state under `rng`.
+    fn simulate(&self, state: &ColoringState, rng: &dyn Randomness) -> Outcome;
+
+    /// Nodes failing the strong success property under `out`.  Must be a
+    /// subset of the active uncolored-after-outcome nodes: a node that the
+    /// outcome colors is always deemed successful (its output is final),
+    /// so deferral never needs to retract an adoption.
+    fn ssp_failures(&self, state: &ColoringState, out: &Outcome) -> Vec<NodeId>;
+
+    /// Cost functional minimized by the seed search.  Defaults to the SSP
+    /// failure count — exactly Lemma 10's pessimistic estimator.  Warm-up
+    /// procedures whose SSP is intentionally permissive (e.g. the first
+    /// TryRandomColor calls inside SlackColor) override this to "number of
+    /// nodes left uncolored", which only strengthens the chosen seed; the
+    /// Lemma 10 guarantee is still reported against SSP failures.
+    fn seed_cost(&self, state: &ColoringState, out: &Outcome) -> f64 {
+        self.ssp_failures(state, out).len() as f64
+    }
+}
+
+/// Per-step execution report.
+#[derive(Clone, Debug, Serialize)]
+pub struct StepReport {
+    /// Procedure name.
+    pub name: &'static str,
+    /// Participating nodes.
+    pub active: usize,
+    /// Nodes colored by the step.
+    pub adopted: usize,
+    /// SSP failures (deferred).
+    pub failures: usize,
+    /// Lemma 10's deferral bound for this step: `1/2 + n_G · Δ^{-11τ}`.
+    pub failure_bound: f64,
+    /// The seed search's outcome (derandomized mode only).
+    pub selection: Option<SeedSelection>,
+}
+
+/// Execution mode: Lemma 4 (randomized) or Lemma 10 (derandomized).
+pub enum Mode {
+    /// True(-standing) randomness with the given master key.
+    Randomized {
+        /// Keyed tape standing in for true randomness.
+        tape: CryptoTape,
+    },
+    /// PRG + conditional expectations.
+    Derandomized {
+        /// The PRG family (seed length fixed).
+        prg: Prg,
+        /// Seed-selection strategy.
+        strategy: SeedStrategy,
+        /// Node → chunk assignment for the PRG output.
+        chunks: ChunkAssignment,
+    },
+}
+
+/// Executes procedures, accounts rounds/space, and tracks deferrals.
+pub struct Runner<'g> {
+    /// The graph all procedures run on.
+    pub graph: &'g Graph,
+    mode: Mode,
+    /// LOCAL round accountant.
+    pub engine: RoundEngine,
+    /// MPC round/space accountant.
+    pub mpc: NodeMpc,
+    /// Nodes deferred by failed SSPs in the current series.
+    pub deferred: Vec<bool>,
+    stream_counter: u64,
+    /// Per-step reports, in execution order.
+    pub reports: Vec<StepReport>,
+    /// Auxiliary output of the most recent step (e.g. PutAside's set).
+    last_aux: Vec<NodeId>,
+    /// Failure-injection probability (see `Params::chaos_defer_prob`).
+    chaos: f64,
+    /// Nodes deferred by injection rather than SSP failure (telemetry).
+    pub chaos_deferrals: usize,
+}
+
+impl<'g> Runner<'g> {
+    /// Construct a randomized runner (Lemma 4 pipeline).
+    pub fn randomized(graph: &'g Graph, params: &Params, master_key: u64, n_global: usize) -> Self {
+        let cfg = MpcConfig::new(n_global.max(2), graph.m().max(1), params.phi);
+        Runner {
+            graph,
+            mode: Mode::Randomized {
+                tape: CryptoTape::new(master_key),
+            },
+            engine: RoundEngine::new(),
+            mpc: NodeMpc::new(cfg),
+            deferred: vec![false; graph.n()],
+            stream_counter: 0,
+            reports: Vec::new(),
+            last_aux: Vec::new(),
+            chaos: params.chaos_defer_prob,
+            chaos_deferrals: 0,
+        }
+    }
+
+    /// Construct a derandomized runner (Lemma 10 pipeline).  In
+    /// `PowerColoring` mode this computes the `G^{4τ}` coloring up front
+    /// (Theorem 12 does this once, in `O(τ + log* n)` rounds).
+    pub fn derandomized(graph: &'g Graph, params: &Params, n_global: usize) -> Self {
+        let cfg = MpcConfig::new(n_global.max(2), graph.m().max(1), params.phi);
+        let mpc = NodeMpc::new(cfg);
+        let mut engine = RoundEngine::new();
+        let chunks = match params.chunking {
+            ChunkMode::PerNode => ChunkAssignment::PerNode,
+            ChunkMode::PowerColoring => {
+                let gp = power_graph(graph, 4 * params.tau as usize);
+                let active = vec![true; graph.n()];
+                let lin = linial_coloring(&gp, &active);
+                // Charged per Theorem 12: O(τ + log* n) rounds to color G^{4τ}.
+                engine.charge(lin.rounds * (4 * params.tau as u64).max(1), 0);
+                mpc.charge_rounds(lin.rounds + params.tau as u64);
+                ChunkAssignment::PowerColoring { colors: lin.colors }
+            }
+        };
+        Runner {
+            graph,
+            mode: Mode::Derandomized {
+                prg: Prg::new(params.seed_bits),
+                strategy: params.strategy,
+                chunks,
+            },
+            engine,
+            mpc,
+            deferred: vec![false; graph.n()],
+            stream_counter: 0,
+            reports: Vec::new(),
+            last_aux: Vec::new(),
+            chaos: params.chaos_defer_prob,
+            chaos_deferrals: 0,
+        }
+    }
+
+    /// Auxiliary node-set output of the most recent step (e.g. the
+    /// put-aside set `P`); empty when the last procedure had none.
+    pub fn last_aux(&self) -> &[NodeId] {
+        &self.last_aux
+    }
+
+    /// Whether `v` is currently deferred.
+    pub fn is_deferred(&self, v: NodeId) -> bool {
+        self.deferred[v as usize]
+    }
+
+    /// All currently deferred nodes, ascending.
+    pub fn deferred_nodes(&self) -> Vec<NodeId> {
+        (0..self.graph.n() as NodeId)
+            .filter(|&v| self.deferred[v as usize])
+            .collect()
+    }
+
+    /// Reset deferrals (between Theorem 12 repetitions).
+    pub fn clear_deferrals(&mut self) {
+        self.deferred.iter_mut().for_each(|d| *d = false);
+    }
+
+    fn next_stream(&mut self) -> u64 {
+        self.stream_counter += 1;
+        self.stream_counter
+    }
+
+    /// Execute one normal procedure: simulate (under true randomness or
+    /// the chosen PRG seed), apply its adoptions, defer its SSP failures.
+    ///
+    /// Returns the step report (also appended to `self.reports`).
+    pub fn run_step(
+        &mut self,
+        proc: &dyn NormalProcedure,
+        state: &mut ColoringState,
+    ) -> StepReport {
+        let stream = self.next_stream();
+        let tau = proc.tau() as u64;
+        // Lemma 10's round/space charges: collect the 8τ-hop input info
+        // (τ rounds of neighborhood exchange), one round of seed agreement
+        // / output application.
+        self.engine.charge(proc.local_rounds(), 0);
+        self.mpc
+            .charge_neighbor_broadcast(self.graph, |v| !state.is_colored(v), 1);
+        self.mpc.charge_rounds(tau + 1);
+
+        let (outcome, selection) = match &self.mode {
+            Mode::Randomized { tape } => {
+                let keyed = StreamTape {
+                    inner: tape,
+                    stream,
+                };
+                (proc.simulate(state, &keyed), None)
+            }
+            Mode::Derandomized {
+                prg,
+                strategy,
+                chunks,
+            } => {
+                let st: &ColoringState = state;
+                let cost = |seed: u64| {
+                    let tape = PrgTape::new(*prg, seed, chunks);
+                    let keyed = StreamTape {
+                        inner: &tape,
+                        stream,
+                    };
+                    let out = proc.simulate(st, &keyed);
+                    proc.seed_cost(st, &out)
+                };
+                let sel = select_seed(prg.seed_bits(), *strategy, cost);
+                debug_assert!(sel.satisfies_guarantee());
+                let tape = PrgTape::new(*prg, sel.seed, chunks);
+                let keyed = StreamTape {
+                    inner: &tape,
+                    stream,
+                };
+                (proc.simulate(state, &keyed), Some(sel))
+            }
+        };
+
+        let failures = proc.ssp_failures(state, &outcome);
+        let adopted = outcome.adoptions.len();
+        self.last_aux = outcome.aux.clone();
+        state.apply_adoptions(self.graph, &outcome.adoptions);
+        for &v in &failures {
+            debug_assert!(
+                !state.is_colored(v),
+                "SSP failure on colored node {v} in {}",
+                proc.name()
+            );
+            self.deferred[v as usize] = true;
+        }
+        // Failure injection: adversarially defer extra uncolored nodes.
+        // Definition 5's WSP survives any such subset; the injection tests
+        // (tests/failure_injection.rs) verify the pipeline absorbs it.
+        if self.chaos > 0.0 {
+            let chaos_tape = CryptoTape::new(0xC4A0_5000 ^ stream);
+            for v in 0..self.graph.n() as NodeId {
+                if !state.is_colored(v)
+                    && !self.deferred[v as usize]
+                    && chaos_tape.bernoulli(v, stream, 7, self.chaos)
+                {
+                    self.deferred[v as usize] = true;
+                    self.chaos_deferrals += 1;
+                }
+            }
+        }
+        // Lemma 10's bound on deferred nodes for one derandomized step.
+        let delta = self.graph.max_degree().max(2) as f64;
+        let n_g = proc.active_count() as f64;
+        let failure_bound = 0.5 + n_g * delta.powf(-11.0 * tau as f64);
+        let report = StepReport {
+            name: proc.name(),
+            active: proc.active_count(),
+            adopted,
+            failures: failures.len(),
+            failure_bound,
+            selection,
+        };
+        self.reports.push(report.clone());
+        report
+    }
+}
+
+/// Adapter fixing the `stream` coordinate of an underlying tape, so each
+/// procedure invocation draws from its own pseudorandom substream.
+struct StreamTape<'a, R: Randomness + ?Sized> {
+    inner: &'a R,
+    stream: u64,
+}
+
+impl<R: Randomness + ?Sized> Randomness for StreamTape<'_, R> {
+    #[inline]
+    fn word(&self, node: u32, stream: u64, idx: u32) -> u64 {
+        // Combine the runner-level stream with the procedure-internal one.
+        self.inner.word(
+            node,
+            self.stream.wrapping_mul(0x1000_0000_01B3) ^ stream,
+            idx,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::D1lcInstance;
+
+    /// A toy normal procedure: every active node tries a random palette
+    /// color with symmetric abstention; SSP = "got colored".
+    struct ToyProc<'a> {
+        g: &'a Graph,
+        active: Vec<NodeId>,
+        mask: Vec<bool>,
+    }
+
+    impl NormalProcedure for ToyProc<'_> {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+
+        fn active_count(&self) -> usize {
+            self.active.len()
+        }
+
+        fn simulate(&self, state: &ColoringState, rng: &dyn Randomness) -> Outcome {
+            let pick_of = |v: NodeId| {
+                let pal = state.palette(v);
+                pal[rng.below(v, 0, 0, pal.len() as u64) as usize]
+            };
+            let mut adoptions = Vec::new();
+            for &v in &self.active {
+                let pick = pick_of(v);
+                let clash = self
+                    .g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| self.mask[u as usize] && pick_of(u) == pick);
+                if !clash {
+                    adoptions.push((v, pick));
+                }
+            }
+            Outcome {
+                adoptions,
+                aux: Vec::new(),
+            }
+        }
+
+        fn ssp_failures(&self, _state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
+            let colored: Vec<NodeId> = out.adoptions.iter().map(|a| a.0).collect();
+            self.active
+                .iter()
+                .copied()
+                .filter(|v| !colored.contains(v))
+                .collect()
+        }
+    }
+
+    fn ring(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as NodeId)
+            .map(|i| (i, (i + 1) % n as NodeId))
+            .collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    fn setup() -> (D1lcInstance, Vec<NodeId>, Vec<bool>) {
+        let g = ring(8);
+        let inst = D1lcInstance::delta_plus_one(g);
+        let active: Vec<NodeId> = (0..8).collect();
+        let mask = vec![true; 8];
+        (inst, active, mask)
+    }
+
+    #[test]
+    fn randomized_step_applies_and_defers() {
+        let (inst, active, mask) = setup();
+        let mut state = ColoringState::new(&inst);
+        let params = Params::default();
+        let mut runner = Runner::randomized(&inst.graph, &params, 42, 8);
+        let proc = ToyProc {
+            g: &inst.graph,
+            active,
+            mask,
+        };
+        let rep = runner.run_step(&proc, &mut state);
+        assert_eq!(rep.adopted + rep.failures, 8);
+        assert_eq!(runner.deferred_nodes().len(), rep.failures);
+        assert!(state.verify_partial(&inst.graph).is_ok());
+        assert!(runner.engine.rounds() > 0);
+        assert!(runner.mpc.metrics().rounds() > 0);
+    }
+
+    #[test]
+    fn derandomized_step_meets_guarantee() {
+        let (inst, active, mask) = setup();
+        let mut state = ColoringState::new(&inst);
+        let params = Params::default().with_seed_bits(8);
+        let mut runner = Runner::derandomized(&inst.graph, &params, 8);
+        let proc = ToyProc {
+            g: &inst.graph,
+            active,
+            mask,
+        };
+        let rep = runner.run_step(&proc, &mut state);
+        let sel = rep.selection.expect("derandomized step has a selection");
+        assert!(sel.satisfies_guarantee());
+        assert!(state.verify_partial(&inst.graph).is_ok());
+    }
+
+    #[test]
+    fn derandomized_run_is_reproducible() {
+        let (inst, active, mask) = setup();
+        let params = Params::default().with_seed_bits(8);
+        let run = |a: Vec<NodeId>, m: Vec<bool>| {
+            let mut state = ColoringState::new(&inst);
+            let mut runner = Runner::derandomized(&inst.graph, &params, 8);
+            let proc = ToyProc {
+                g: &inst.graph,
+                active: a,
+                mask: m,
+            };
+            runner.run_step(&proc, &mut state);
+            state.colors().to_vec()
+        };
+        assert_eq!(
+            run(active.clone(), mask.clone()),
+            run(active, mask),
+            "derandomized pipeline must be bit-reproducible"
+        );
+    }
+
+    #[test]
+    fn power_coloring_mode_builds_chunks() {
+        let (inst, active, mask) = setup();
+        let params = Params::default()
+            .with_seed_bits(6)
+            .with_chunking(ChunkMode::PowerColoring);
+        let mut state = ColoringState::new(&inst);
+        let mut runner = Runner::derandomized(&inst.graph, &params, 8);
+        let proc = ToyProc {
+            g: &inst.graph,
+            active,
+            mask,
+        };
+        let rep = runner.run_step(&proc, &mut state);
+        assert!(rep.selection.is_some());
+        assert!(state.verify_partial(&inst.graph).is_ok());
+    }
+
+    #[test]
+    fn streams_differ_between_steps() {
+        // Two identical procedures in sequence must not replay the same
+        // randomness (the second sees fresh bits via the stream counter).
+        let (inst, _, _) = setup();
+        let params = Params::default();
+        let mut state = ColoringState::new(&inst);
+        let mut runner = Runner::randomized(&inst.graph, &params, 7, 8);
+        let active: Vec<NodeId> = state.uncolored_nodes();
+        let mask = vec![true; 8];
+        let r1 = runner.run_step(
+            &ToyProc {
+                g: &inst.graph,
+                active: active.clone(),
+                mask: mask.clone(),
+            },
+            &mut state,
+        );
+        let remaining = state.uncolored_nodes();
+        if !remaining.is_empty() {
+            let mut mask2 = vec![false; 8];
+            for &v in &remaining {
+                mask2[v as usize] = true;
+            }
+            let r2 = runner.run_step(
+                &ToyProc {
+                    g: &inst.graph,
+                    active: remaining,
+                    mask: mask2,
+                },
+                &mut state,
+            );
+            // Not a strict requirement, but with fresh randomness the second
+            // round almost surely colors someone on a ring.
+            assert!(r2.adopted > 0 || r1.adopted == 8);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The HKNT22 (degree+1)-list-coloring pipeline (Section 2.2 / Section 5
+//! of the paper), expressed as a series of normal `(O(1), Δ)`-round
+//! distributed procedures so the derandomization framework applies
+//! (Lemma 13).
+//!
+//! Module layout mirrors the paper's presentation:
+//! * [`procs`] — the randomized subprocedures: `TryRandomColor`
+//!   (Algorithm 3), `MultiTrial` (Algorithm 4), `GenerateSlack`
+//!   (Algorithm 6), `SynchColorTrial` (Algorithm 8), `PutAside`
+//!   (Algorithm 9), each with its strong success property.
+//! * [`acd`] — the almost-clique decomposition (Definition 3) plus
+//!   leaders/inliers/outliers (Lemma 22).
+//! * [`vstart`] — the `Vstart` identification (Lemma 21).
+//! * [`slack_color`](mod@slack_color) — `SlackColor` (Algorithm 2): the `O(log* n)`-step
+//!   doubling schedule over MultiTrial.
+//! * [`pipeline`] — `ColorMiddle` (Algorithm 1): ACD → ColorSparse
+//!   (Algorithm 5) → ColorDense (Algorithm 7).
+
+pub mod acd;
+pub mod pipeline;
+pub mod procs;
+pub mod slack_color;
+pub mod vstart;
+
+pub use acd::{compute_acd, Acd, Clique, NodeClass};
+pub use pipeline::{color_middle, MidReport};
+pub use procs::{GenerateSlack, MultiTrial, PutAside, SspMode, SynchColorTrial, TryRandomColor};
+pub use slack_color::slack_color;
+pub use vstart::{identify_vstart, VstartSets};

@@ -1,0 +1,958 @@
+//! The randomized subprocedures of HKNT22, as normal distributed
+//! procedures (Definition 5 instances; see Lemma 13 of the paper).
+//!
+//! Conventions shared by all procedures:
+//! * `active`/`mask` name the nodes participating in *this* invocation
+//!   (uncolored, in the current stage, not deferred).  Inactive neighbors
+//!   neither propose nor conflict.
+//! * Adoption is by **symmetric abstention**: a node adopts a color only
+//!   if no active neighbor proposes the same color, so batches are
+//!   conflict-free by construction (re-checked by `apply_adoptions`).
+//! * Every random draw is addressed `(node, stream, idx)` through the
+//!   [`Randomness`] tape, keeping `simulate` a pure function of the seed —
+//!   the property the derandomizer relies on.
+
+use crate::framework::{NormalProcedure, Outcome};
+use crate::instance::ColoringState;
+use parcolor_local::graph::{Graph, NodeId};
+use parcolor_local::tape::Randomness;
+use rayon::prelude::*;
+
+/// Streams used to separate the random draws inside one procedure.
+const S_PICK: u64 = 1;
+const S_SAMPLE: u64 = 2;
+const S_PERM: u64 = 3;
+
+/// Strong-success-property variants used across the pipeline.
+#[derive(Clone, Debug)]
+pub enum SspMode {
+    /// Always successful (warm-up steps; deferral handled by later gates).
+    Auto,
+    /// Node must end colored.
+    Colored,
+    /// Post-state must satisfy `slack ≥ ratio · degree` (degree and slack
+    /// measured on active nodes after this outcome) — the SlackColor gates.
+    SlackRatio(f64),
+    /// Post-state slack must reach the per-node absolute target
+    /// (aligned with `active`); `target ≤ 0` means auto-success.
+    SlackTarget(Vec<f64>),
+}
+
+/// Shared geometry of one procedure invocation.
+#[derive(Clone, Debug)]
+pub struct StageSet {
+    /// Participating nodes, ascending.
+    pub active: Vec<NodeId>,
+    /// Dense membership mask (`mask[v] ⇔ v ∈ active`).
+    pub mask: Vec<bool>,
+}
+
+impl StageSet {
+    /// Build from the active node list (`n` = total node count).
+    pub fn new(n: usize, active: Vec<NodeId>) -> Self {
+        let mut mask = vec![false; n];
+        for &v in &active {
+            mask[v as usize] = true;
+        }
+        StageSet { active, mask }
+    }
+
+    /// Whether `v` participates.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.mask[v as usize]
+    }
+}
+
+/// Post-outcome metrics: active degree and slack of `v` if `out` were
+/// applied.  Used by the SSP evaluators (they must judge the *result* of
+/// the procedure without mutating the state).
+fn post_deg_slack(
+    g: &Graph,
+    state: &ColoringState,
+    set: &StageSet,
+    adopted: &[u32],
+    v: NodeId,
+) -> (usize, i64) {
+    let mut deg = 0usize;
+    let mut pal_lost = 0usize;
+    let pal = state.palette(v);
+    // Colors adopted by ≥1 neighbor that intersect v's palette.  Distinct
+    // colors only: two non-adjacent neighbors may adopt the same color but
+    // v's palette loses it once.  Neighbor lists are short (≤ Δ); a sorted
+    // scratch vector beats hashing here.
+    let mut taken: Vec<u32> = Vec::new();
+    for &u in g.neighbors(v) {
+        if !set.contains(u) {
+            continue;
+        }
+        let c = adopted[u as usize];
+        if c == crate::instance::NO_COLOR {
+            deg += 1;
+        } else if pal.contains(&c) {
+            if let Err(pos) = taken.binary_search(&c) {
+                taken.insert(pos, c);
+                pal_lost += 1;
+            }
+        }
+    }
+    let slack = (pal.len() - pal_lost) as i64 - deg as i64;
+    (deg, slack)
+}
+
+/// Dense `adopted-color` lookup built once per SSP evaluation.
+fn adoption_map(n: usize, out: &Outcome) -> Vec<u32> {
+    let mut adopted = vec![crate::instance::NO_COLOR; n];
+    for &(v, c) in &out.adoptions {
+        adopted[v as usize] = c;
+    }
+    adopted
+}
+
+fn evaluate_ssp(
+    g: &Graph,
+    state: &ColoringState,
+    set: &StageSet,
+    ssp: &SspMode,
+    out: &Outcome,
+) -> Vec<NodeId> {
+    match ssp {
+        SspMode::Auto => Vec::new(),
+        SspMode::Colored => {
+            let adopted = adoption_map(state.n(), out);
+            set.active
+                .par_iter()
+                .copied()
+                .filter(|&v| adopted[v as usize] == crate::instance::NO_COLOR)
+                .collect()
+        }
+        SspMode::SlackRatio(ratio) => {
+            let adopted = adoption_map(state.n(), out);
+            set.active
+                .par_iter()
+                .copied()
+                .filter(|&v| {
+                    if adopted[v as usize] != crate::instance::NO_COLOR {
+                        return false; // colored ⇒ success
+                    }
+                    let (deg, slack) = post_deg_slack(g, state, set, &adopted, v);
+                    (slack as f64) < ratio * deg as f64
+                })
+                .collect()
+        }
+        SspMode::SlackTarget(targets) => {
+            let adopted = adoption_map(state.n(), out);
+            set.active
+                .par_iter()
+                .zip(targets.par_iter())
+                .filter_map(|(&v, &t)| {
+                    if t <= 0.0 || adopted[v as usize] != crate::instance::NO_COLOR {
+                        return None;
+                    }
+                    let (_, slack) = post_deg_slack(g, state, set, &adopted, v);
+                    ((slack as f64) < t).then_some(v)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Count of active nodes left uncolored by `out` — the progress-oriented
+/// seed cost used by warm-up steps.
+fn uncolored_cost(set: &StageSet, state: &ColoringState, out: &Outcome) -> f64 {
+    let adopted = adoption_map(state.n(), out);
+    set.active
+        .iter()
+        .filter(|&&v| adopted[v as usize] == crate::instance::NO_COLOR)
+        .count() as f64
+}
+
+// ---------------------------------------------------------------------
+// TryRandomColor (Algorithm 3)
+// ---------------------------------------------------------------------
+
+/// Each participating node picks one color uniformly at random from its
+/// residual palette and keeps it unless an active neighbor picked the same
+/// color.
+pub struct TryRandomColor<'a> {
+    /// The graph.
+    pub g: &'a Graph,
+    /// Participating nodes.
+    pub set: StageSet,
+    /// Strong-success-property variant for this call.
+    pub ssp: SspMode,
+    /// Distinguishes repeated calls within one stage (fresh randomness).
+    pub round_tag: u64,
+}
+
+impl<'a> TryRandomColor<'a> {
+    /// Construct one invocation.
+    pub fn new(g: &'a Graph, set: StageSet, ssp: SspMode, round_tag: u64) -> Self {
+        TryRandomColor {
+            g,
+            set,
+            ssp,
+            round_tag,
+        }
+    }
+
+    #[inline]
+    fn pick(&self, state: &ColoringState, rng: &dyn Randomness, v: NodeId) -> u32 {
+        let pal = state.palette(v);
+        debug_assert!(!pal.is_empty());
+        pal[rng.below(v, S_PICK ^ self.round_tag << 8, 0, pal.len() as u64) as usize]
+    }
+}
+
+impl NormalProcedure for TryRandomColor<'_> {
+    fn name(&self) -> &'static str {
+        "TryRandomColor"
+    }
+
+    fn active_count(&self) -> usize {
+        self.set.active.len()
+    }
+
+    fn simulate(&self, state: &ColoringState, rng: &dyn Randomness) -> Outcome {
+        let adoptions: Vec<(NodeId, u32)> = self
+            .set
+            .active
+            .par_iter()
+            .filter_map(|&v| {
+                let c = self.pick(state, rng, v);
+                let clash = self
+                    .g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| self.set.contains(u) && self.pick(state, rng, u) == c);
+                (!clash).then_some((v, c))
+            })
+            .collect();
+        Outcome {
+            adoptions,
+            aux: Vec::new(),
+        }
+    }
+
+    fn ssp_failures(&self, state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
+        evaluate_ssp(self.g, state, &self.set, &self.ssp, out)
+    }
+
+    fn seed_cost(&self, state: &ColoringState, out: &Outcome) -> f64 {
+        match self.ssp {
+            // Warm-up: maximize colored nodes.
+            SspMode::Auto => uncolored_cost(&self.set, state, out),
+            _ => self.ssp_failures(state, out).len() as f64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// MultiTrial (Algorithm 4)
+// ---------------------------------------------------------------------
+
+/// Cap on the number of colors one MultiTrial draws per node.  The paper's
+/// `x` can reach `ρ = s_min^{1/(1+κ)}`; at implementation scale, 64
+/// simultaneous candidates already drive the per-trial failure probability
+/// below 2⁻⁶⁴-ish for the slack ratios the gates enforce.
+pub const MULTI_TRIAL_CAP: usize = 64;
+
+/// Each participating node draws `x` distinct palette colors; it adopts
+/// one that no active neighbor drew.
+pub struct MultiTrial<'a> {
+    /// The graph.
+    pub g: &'a Graph,
+    /// Participating nodes.
+    pub set: StageSet,
+    /// Candidate colors drawn per node.
+    pub x: usize,
+    /// Strong-success-property variant for this call.
+    pub ssp: SspMode,
+    /// Distinguishes repeated calls within one stage.
+    pub round_tag: u64,
+    /// Position of each node in `set.active` (for proposal lookup).
+    pos: Vec<u32>,
+}
+
+impl<'a> MultiTrial<'a> {
+    /// Construct one invocation (`x` clamped to [`MULTI_TRIAL_CAP`]).
+    pub fn new(g: &'a Graph, set: StageSet, x: usize, ssp: SspMode, round_tag: u64) -> Self {
+        let mut pos = vec![u32::MAX; g.n()];
+        for (i, &v) in set.active.iter().enumerate() {
+            pos[v as usize] = i as u32;
+        }
+        MultiTrial {
+            g,
+            set,
+            x: x.clamp(1, MULTI_TRIAL_CAP),
+            ssp,
+            round_tag,
+            pos,
+        }
+    }
+
+    /// Sorted set of `min(x, p(v))` distinct colors from `v`'s palette.
+    fn draw(&self, state: &ColoringState, rng: &dyn Randomness, v: NodeId) -> Vec<u32> {
+        let pal = state.palette(v);
+        let want = self.x.min(pal.len());
+        let stream = S_PICK ^ (self.round_tag << 8) ^ 0x4d54;
+        let mut chosen: Vec<u32> = if want * 2 >= pal.len() {
+            // Dense draw: partial Fisher-Yates over a palette copy.
+            let mut buf: Vec<u32> = pal.to_vec();
+            for i in 0..want {
+                let j = i + rng.below(v, stream, i as u32, (buf.len() - i) as u64) as usize;
+                buf.swap(i, j);
+            }
+            buf.truncate(want);
+            buf
+        } else {
+            // Sparse draw: rejection sampling of distinct indices.
+            let mut picked: Vec<u32> = Vec::with_capacity(want);
+            let mut idx = 0u32;
+            while picked.len() < want {
+                let j = rng.below(v, stream, 1000 + idx, pal.len() as u64) as usize;
+                idx += 1;
+                let c = pal[j];
+                if !picked.contains(&c) {
+                    picked.push(c);
+                }
+            }
+            picked
+        };
+        chosen.sort_unstable();
+        chosen
+    }
+}
+
+impl NormalProcedure for MultiTrial<'_> {
+    fn name(&self) -> &'static str {
+        "MultiTrial"
+    }
+
+    fn active_count(&self) -> usize {
+        self.set.active.len()
+    }
+
+    fn simulate(&self, state: &ColoringState, rng: &dyn Randomness) -> Outcome {
+        // Phase 1: every active node draws its candidate set.
+        let draws: Vec<Vec<u32>> = self
+            .set
+            .active
+            .par_iter()
+            .map(|&v| self.draw(state, rng, v))
+            .collect();
+        // Phase 2: adopt the first candidate no active neighbor drew.
+        let adoptions: Vec<(NodeId, u32)> = self
+            .set
+            .active
+            .par_iter()
+            .enumerate()
+            .filter_map(|(i, &v)| {
+                let mine = &draws[i];
+                'cand: for &c in mine {
+                    for &u in self.g.neighbors(v) {
+                        if !self.set.contains(u) {
+                            continue;
+                        }
+                        let theirs = &draws[self.pos[u as usize] as usize];
+                        if theirs.binary_search(&c).is_ok() {
+                            continue 'cand;
+                        }
+                    }
+                    return Some((v, c));
+                }
+                None
+            })
+            .collect();
+        Outcome {
+            adoptions,
+            aux: Vec::new(),
+        }
+    }
+
+    fn ssp_failures(&self, state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
+        evaluate_ssp(self.g, state, &self.set, &self.ssp, out)
+    }
+
+    fn seed_cost(&self, state: &ColoringState, out: &Outcome) -> f64 {
+        match self.ssp {
+            SspMode::Auto => uncolored_cost(&self.set, state, out),
+            _ => self.ssp_failures(state, out).len() as f64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// GenerateSlack (Algorithm 6)
+// ---------------------------------------------------------------------
+
+/// Every node joins a set `S` independently with probability `p`; nodes in
+/// `S` run one TryRandomColor among themselves.  Same-colored pairs of
+/// sampled neighbors "collide away" palette colors of bystanders, creating
+/// permanent slack (HKNT's slack-generation lemmas).
+pub struct GenerateSlack<'a> {
+    /// The graph.
+    pub g: &'a Graph,
+    /// Participating nodes.
+    pub set: StageSet,
+    /// Sampling probability (paper: 1/10).
+    pub prob: f64,
+    /// Per-active-node slack targets (the SSP); entries `≤ 0` auto-succeed.
+    pub targets: Vec<f64>,
+    /// Distinguishes repeated calls within one stage.
+    pub round_tag: u64,
+}
+
+impl<'a> GenerateSlack<'a> {
+    /// Construct one invocation (`targets` aligned with `set.active`).
+    pub fn new(g: &'a Graph, set: StageSet, prob: f64, targets: Vec<f64>, round_tag: u64) -> Self {
+        assert_eq!(set.active.len(), targets.len());
+        GenerateSlack {
+            g,
+            set,
+            prob,
+            targets,
+            round_tag,
+        }
+    }
+
+    #[inline]
+    fn sampled(&self, rng: &dyn Randomness, v: NodeId) -> bool {
+        rng.bernoulli(v, S_SAMPLE ^ (self.round_tag << 8), 0, self.prob)
+    }
+
+    #[inline]
+    fn pick(&self, state: &ColoringState, rng: &dyn Randomness, v: NodeId) -> u32 {
+        let pal = state.palette(v);
+        pal[rng.below(v, S_PICK ^ (self.round_tag << 8), 1, pal.len() as u64) as usize]
+    }
+}
+
+impl NormalProcedure for GenerateSlack<'_> {
+    fn name(&self) -> &'static str {
+        "GenerateSlack"
+    }
+
+    fn active_count(&self) -> usize {
+        self.set.active.len()
+    }
+
+    fn simulate(&self, state: &ColoringState, rng: &dyn Randomness) -> Outcome {
+        let adoptions: Vec<(NodeId, u32)> = self
+            .set
+            .active
+            .par_iter()
+            .filter_map(|&v| {
+                if !self.sampled(rng, v) {
+                    return None;
+                }
+                let c = self.pick(state, rng, v);
+                let clash = self.g.neighbors(v).iter().any(|&u| {
+                    self.set.contains(u) && self.sampled(rng, u) && self.pick(state, rng, u) == c
+                });
+                (!clash).then_some((v, c))
+            })
+            .collect();
+        Outcome {
+            adoptions,
+            aux: Vec::new(),
+        }
+    }
+
+    fn ssp_failures(&self, state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
+        evaluate_ssp(
+            self.g,
+            state,
+            &self.set,
+            &SspMode::SlackTarget(self.targets.clone()),
+            out,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// SynchColorTrial (Algorithm 8)
+// ---------------------------------------------------------------------
+
+/// One almost-clique's view for the synchronized trial.
+#[derive(Clone, Debug)]
+pub struct CliqueTrial {
+    /// The clique leader `x_C` dealing colors.
+    pub leader: NodeId,
+    /// Inliers receiving proposals (sorted by id; excludes put-aside set).
+    pub inliers: Vec<NodeId>,
+}
+
+/// The leader of each almost-clique permutes its palette and proposes a
+/// distinct color to each inlier; an inlier keeps the proposal if it is in
+/// its own palette and conflicts with no neighbor's proposal.
+pub struct SynchColorTrial<'a> {
+    /// The graph.
+    pub g: &'a Graph,
+    /// All proposal-receiving inliers across cliques.
+    pub set: StageSet,
+    /// Per-clique leader/inlier views.
+    pub cliques: Vec<CliqueTrial>,
+    /// Per-clique failure tolerance `t` (SSP: ≤ t inliers of the clique
+    /// fail; beyond that the whole clique's remaining inliers defer).
+    pub tolerance: usize,
+    /// Distinguishes repeated calls within one stage.
+    pub round_tag: u64,
+}
+
+impl NormalProcedure for SynchColorTrial<'_> {
+    fn name(&self) -> &'static str {
+        "SynchColorTrial"
+    }
+
+    fn active_count(&self) -> usize {
+        self.set.active.len()
+    }
+
+    fn simulate(&self, state: &ColoringState, rng: &dyn Randomness) -> Outcome {
+        // Phase 1: leaders deal colors.  proposal[v] for each inlier v.
+        let mut proposal = vec![crate::instance::NO_COLOR; state.n()];
+        let deals: Vec<Vec<(NodeId, u32)>> = self
+            .cliques
+            .par_iter()
+            .map(|ct| {
+                let pal = state.palette(ct.leader);
+                if pal.is_empty() {
+                    return Vec::new();
+                }
+                // Leader permutes its palette with its own randomness.
+                let mut perm: Vec<u32> = pal.to_vec();
+                let stream = S_PERM ^ (self.round_tag << 8);
+                for i in (1..perm.len()).rev() {
+                    let j = rng.below(ct.leader, stream, i as u32, (i + 1) as u64) as usize;
+                    perm.swap(i, j);
+                }
+                ct.inliers
+                    .iter()
+                    .take(perm.len())
+                    .enumerate()
+                    .map(|(k, &v)| (v, perm[k]))
+                    .collect()
+            })
+            .collect();
+        for deal in &deals {
+            for &(v, c) in deal {
+                proposal[v as usize] = c;
+            }
+        }
+        // Phase 2: symmetric conflict resolution + palette membership.
+        let adoptions: Vec<(NodeId, u32)> = self
+            .set
+            .active
+            .par_iter()
+            .filter_map(|&v| {
+                let c = proposal[v as usize];
+                if c == crate::instance::NO_COLOR || !state.palette(v).contains(&c) {
+                    return None;
+                }
+                let clash = self
+                    .g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| proposal[u as usize] == c);
+                (!clash).then_some((v, c))
+            })
+            .collect();
+        Outcome {
+            adoptions,
+            aux: Vec::new(),
+        }
+    }
+
+    fn ssp_failures(&self, state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
+        let adopted = adoption_map(state.n(), out);
+        let mut failures = Vec::new();
+        for ct in &self.cliques {
+            let failed: Vec<NodeId> = ct
+                .inliers
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    self.set.contains(v) && adopted[v as usize] == crate::instance::NO_COLOR
+                })
+                .collect();
+            // SSP (paper): the clique has at most O(t) failed nodes.  If
+            // exceeded, the clique's uncolored inliers defer.
+            if failed.len() > self.tolerance {
+                failures.extend(failed);
+            }
+        }
+        failures
+    }
+}
+
+// ---------------------------------------------------------------------
+// PutAside (Algorithm 9)
+// ---------------------------------------------------------------------
+
+/// One low-slackability clique's put-aside computation.
+#[derive(Clone, Debug)]
+pub struct CliquePutAside {
+    /// Which clique this view belongs to.
+    pub clique_id: u32,
+    /// Its live inliers.
+    pub inliers: Vec<NodeId>,
+    /// Sampling probability `p_s = ℓ²/(48 Δ_C)` (clamped; see pipeline).
+    pub prob: f64,
+    /// SSP target: `|P_C|` must reach this (scaled-down `Ω(ℓ²)`).
+    pub target: usize,
+}
+
+/// Sample each inlier independently; keep those with no sampled neighbor.
+/// The kept set `P` is independent (globally: a kept node has *no* sampled
+/// neighbor at all) and is put aside to be colored greedily at the very
+/// end, meanwhile donating slack to the rest of its clique.
+pub struct PutAside<'a> {
+    /// The graph.
+    pub g: &'a Graph,
+    /// All participating inliers across low-slack cliques.
+    pub set: StageSet,
+    /// Per-clique sampling parameters.
+    pub cliques: Vec<CliquePutAside>,
+    /// Distinguishes repeated calls within one stage.
+    pub round_tag: u64,
+}
+
+impl PutAside<'_> {
+    #[inline]
+    fn sampled(&self, rng: &dyn Randomness, v: NodeId, prob: f64) -> bool {
+        rng.bernoulli(v, S_SAMPLE ^ (self.round_tag << 8) ^ 0x5041, 0, prob)
+    }
+
+    /// The sampling probability applicable to node `v` (its clique's).
+    fn prob_of(&self, probs: &[f64], v: NodeId) -> f64 {
+        probs[v as usize]
+    }
+}
+
+impl NormalProcedure for PutAside<'_> {
+    fn name(&self) -> &'static str {
+        "PutAside"
+    }
+
+    fn local_rounds(&self) -> u64 {
+        1
+    }
+
+    fn active_count(&self) -> usize {
+        self.set.active.len()
+    }
+
+    fn simulate(&self, state: &ColoringState, rng: &dyn Randomness) -> Outcome {
+        // Per-node sampling probability lookup.
+        let mut probs = vec![0.0f64; state.n()];
+        for cq in &self.cliques {
+            for &v in &cq.inliers {
+                probs[v as usize] = cq.prob;
+            }
+        }
+        // P = sampled nodes with no sampled neighbor (anywhere).
+        let aux: Vec<NodeId> = self
+            .set
+            .active
+            .par_iter()
+            .copied()
+            .filter(|&v| {
+                let pv = self.prob_of(&probs, v);
+                pv > 0.0 && self.sampled(rng, v, pv) && {
+                    !self.g.neighbors(v).iter().any(|&u| {
+                        let pu = self.prob_of(&probs, u);
+                        pu > 0.0 && self.set.contains(u) && self.sampled(rng, u, pu)
+                    })
+                }
+            })
+            .collect();
+        Outcome {
+            adoptions: Vec::new(),
+            aux,
+        }
+    }
+
+    fn ssp_failures(&self, _state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
+        // SSP per clique: |P_C| ≥ target.  On failure the clique's inliers
+        // defer (they will be recursed on; deferral only creates slack for
+        // the rest — see Lemma 13's PutAside case).
+        let mut in_p = vec![false; self.g.n()];
+        for &v in &out.aux {
+            in_p[v as usize] = true;
+        }
+        let mut failures = Vec::new();
+        for cq in &self.cliques {
+            let got = cq.inliers.iter().filter(|&&v| in_p[v as usize]).count();
+            if got < cq.target {
+                failures.extend(
+                    cq.inliers
+                        .iter()
+                        .copied()
+                        .filter(|&v| self.set.contains(v) && !in_p[v as usize]),
+                );
+            }
+        }
+        failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::D1lcInstance;
+    use parcolor_local::tape::CryptoTape;
+
+    fn ring(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as NodeId)
+            .map(|i| (i, (i + 1) % n as NodeId))
+            .collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    fn clique(n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for a in 0..n as NodeId {
+            for b in (a + 1)..n as NodeId {
+                edges.push((a, b));
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    fn full_set(n: usize) -> StageSet {
+        StageSet::new(n, (0..n as NodeId).collect())
+    }
+
+    #[test]
+    fn try_random_color_adoptions_are_proper() {
+        let g = ring(50);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let mut state = ColoringState::new(&inst);
+        let proc = TryRandomColor::new(&g, full_set(50), SspMode::Auto, 0);
+        let tape = CryptoTape::new(7);
+        let out = proc.simulate(&state, &tape);
+        assert!(!out.adoptions.is_empty(), "ring trial should color someone");
+        state.apply_adoptions(&g, &out.adoptions); // would panic on conflicts
+        assert!(state.verify_partial(&g).is_ok());
+    }
+
+    #[test]
+    fn try_random_color_is_pure() {
+        let g = ring(30);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let state = ColoringState::new(&inst);
+        let proc = TryRandomColor::new(&g, full_set(30), SspMode::Auto, 3);
+        let tape = CryptoTape::new(11);
+        let a = proc.simulate(&state, &tape);
+        let b = proc.simulate(&state, &tape);
+        assert_eq!(a.adoptions, b.adoptions);
+    }
+
+    #[test]
+    fn round_tags_change_randomness() {
+        let g = ring(30);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let state = ColoringState::new(&inst);
+        let tape = CryptoTape::new(11);
+        let a = TryRandomColor::new(&g, full_set(30), SspMode::Auto, 1).simulate(&state, &tape);
+        let b = TryRandomColor::new(&g, full_set(30), SspMode::Auto, 2).simulate(&state, &tape);
+        assert_ne!(a.adoptions, b.adoptions);
+    }
+
+    #[test]
+    fn multi_trial_draws_distinct_sorted() {
+        let g = ring(10);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let state = ColoringState::new(&inst);
+        let proc = MultiTrial::new(&g, full_set(10), 2, SspMode::Auto, 0);
+        let tape = CryptoTape::new(3);
+        for v in 0..10 {
+            let d = proc.draw(&state, &tape, v);
+            assert_eq!(d.len(), 2);
+            assert!(d[0] < d[1]);
+        }
+    }
+
+    #[test]
+    fn multi_trial_colors_everyone_with_full_palette_draw() {
+        // x ≥ palette size: every node proposes its whole palette.  On a
+        // ring with 3-color palettes neighbors always share colors... but
+        // an isolated-ish graph colors instantly.  Use an empty graph.
+        let g = Graph::empty(5);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let mut state = ColoringState::new(&inst);
+        let proc = MultiTrial::new(&g, full_set(5), 8, SspMode::Colored, 0);
+        let tape = CryptoTape::new(5);
+        let out = proc.simulate(&state, &tape);
+        assert_eq!(out.adoptions.len(), 5);
+        assert!(proc.ssp_failures(&state, &out).is_empty());
+        state.apply_adoptions(&g, &out.adoptions);
+        assert_eq!(state.uncolored_count(), 0);
+    }
+
+    #[test]
+    fn multi_trial_respects_conflicts() {
+        let g = clique(4);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let mut state = ColoringState::new(&inst);
+        let proc = MultiTrial::new(&g, full_set(4), 2, SspMode::Auto, 1);
+        let tape = CryptoTape::new(9);
+        let out = proc.simulate(&state, &tape);
+        state.apply_adoptions(&g, &out.adoptions);
+        assert!(state.verify_partial(&g).is_ok());
+    }
+
+    #[test]
+    fn generate_slack_samples_a_fraction() {
+        let g = ring(2000);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let mut state = ColoringState::new(&inst);
+        let set = full_set(2000);
+        let targets = vec![0.0; 2000];
+        let proc = GenerateSlack::new(&g, set, 0.1, targets, 0);
+        let tape = CryptoTape::new(13);
+        let out = proc.simulate(&state, &tape);
+        // ~10% sampled, nearly all succeed on a ring: between 3% and 15%.
+        assert!(
+            out.adoptions.len() > 60 && out.adoptions.len() < 300,
+            "adoptions = {}",
+            out.adoptions.len()
+        );
+        state.apply_adoptions(&g, &out.adoptions);
+        assert!(state.verify_partial(&g).is_ok());
+    }
+
+    #[test]
+    fn generate_slack_ssp_targets() {
+        let g = ring(8);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let state = ColoringState::new(&inst);
+        let set = full_set(8);
+        // Impossible target: everyone uncolored fails.
+        let targets = vec![100.0; 8];
+        let proc = GenerateSlack::new(&g, set, 0.0, targets, 0);
+        let tape = CryptoTape::new(1);
+        let out = proc.simulate(&state, &tape);
+        assert_eq!(out.adoptions.len(), 0);
+        assert_eq!(proc.ssp_failures(&state, &out).len(), 8);
+    }
+
+    #[test]
+    fn synch_color_trial_deals_distinct_colors() {
+        let g = clique(6);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let mut state = ColoringState::new(&inst);
+        let inliers: Vec<NodeId> = (1..6).collect();
+        let set = StageSet::new(6, inliers.clone());
+        let proc = SynchColorTrial {
+            g: &g,
+            set,
+            cliques: vec![CliqueTrial { leader: 0, inliers }],
+            tolerance: 6,
+            round_tag: 0,
+        };
+        let tape = CryptoTape::new(17);
+        let out = proc.simulate(&state, &tape);
+        // In a true clique all proposals are distinct colors of a shared
+        // palette, so nobody conflicts: everyone adopts.
+        assert_eq!(out.adoptions.len(), 5);
+        state.apply_adoptions(&g, &out.adoptions);
+        assert!(state.verify_partial(&g).is_ok());
+    }
+
+    #[test]
+    fn synch_color_trial_tolerance_gates_failures() {
+        let g = clique(5);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let state = ColoringState::new(&inst);
+        let inliers: Vec<NodeId> = (1..5).collect();
+        let set = StageSet::new(5, inliers.clone());
+        let proc = SynchColorTrial {
+            g: &g,
+            set,
+            cliques: vec![CliqueTrial { leader: 0, inliers }],
+            tolerance: 0,
+            round_tag: 0,
+        };
+        let tape = CryptoTape::new(17);
+        let out = proc.simulate(&state, &tape);
+        let fails = proc.ssp_failures(&state, &out);
+        let uncolored = 4 - out.adoptions.len();
+        if uncolored > 0 {
+            assert_eq!(fails.len(), uncolored);
+        } else {
+            assert!(fails.is_empty());
+        }
+    }
+
+    #[test]
+    fn put_aside_set_is_independent() {
+        let g = clique(12);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let state = ColoringState::new(&inst);
+        let inliers: Vec<NodeId> = (0..12).collect();
+        let set = StageSet::new(12, inliers.clone());
+        let proc = PutAside {
+            g: &g,
+            set,
+            cliques: vec![CliquePutAside {
+                clique_id: 0,
+                inliers,
+                prob: 0.15,
+                target: 0,
+            }],
+            round_tag: 0,
+        };
+        let tape = CryptoTape::new(23);
+        let out = proc.simulate(&state, &tape);
+        // In a clique, P has at most one node (it's an independent set).
+        assert!(out.aux.len() <= 1, "P = {:?}", out.aux);
+        assert!(proc.ssp_failures(&state, &out).is_empty());
+    }
+
+    #[test]
+    fn put_aside_target_failure_defers_clique() {
+        let g = clique(6);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let state = ColoringState::new(&inst);
+        let inliers: Vec<NodeId> = (0..6).collect();
+        let set = StageSet::new(6, inliers.clone());
+        let proc = PutAside {
+            g: &g,
+            set,
+            cliques: vec![CliquePutAside {
+                clique_id: 0,
+                inliers,
+                prob: 0.0, // nothing sampled → |P| = 0 < target
+                target: 2,
+            }],
+            round_tag: 0,
+        };
+        let tape = CryptoTape::new(23);
+        let out = proc.simulate(&state, &tape);
+        assert_eq!(out.aux.len(), 0);
+        assert_eq!(proc.ssp_failures(&state, &out).len(), 6);
+    }
+
+    #[test]
+    fn post_metrics_account_duplicate_colors_once() {
+        // Path 1-0-2 (star with two leaves): leaves adopt the same color c
+        // (not adjacent), center loses c once but two neighbors.
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2)]);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let state = ColoringState::new(&inst);
+        let set = full_set(3);
+        let adopted = {
+            let out = Outcome {
+                adoptions: vec![(1, 1), (2, 1)],
+                aux: Vec::new(),
+            };
+            super::adoption_map(3, &out)
+        };
+        let (deg, slack) = super::post_deg_slack(&g, &state, &set, &adopted, 0);
+        assert_eq!(deg, 0);
+        // palette {0,1,2} minus {1} = 2 colors, degree 0 → slack 2
+        assert_eq!(slack, 2);
+    }
+}

@@ -1,0 +1,351 @@
+//! Graph generators.  All deterministic in `seed`.
+
+use parcolor_local::graph::{Graph, GraphBuilder, NodeId};
+use parcolor_local::tape::SplitMix;
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct uniform edges.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let max_edges = n * (n - 1) / 2;
+    assert!(m <= max_edges, "m={m} exceeds max {max_edges}");
+    let mut rng = SplitMix::new(seed);
+    let mut builder = GraphBuilder::new(n);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut added = 0usize;
+    while added < m {
+        let a = rng.below(n as u64) as NodeId;
+        let b = rng.below(n as u64) as NodeId;
+        if a == b {
+            continue;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if seen.insert(key) {
+            builder.add_edge(key.0, key.1);
+            added += 1;
+        }
+    }
+    builder.build()
+}
+
+/// Erdős–Rényi `G(n, p)` via the geometric skipping method — `O(m)` time.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut builder = GraphBuilder::new(n);
+    if p > 0.0 {
+        let mut rng = SplitMix::new(seed);
+        let log1p = (1.0 - p).ln();
+        let mut v: i64 = 1;
+        let mut w: i64 = -1;
+        while (v as usize) < n {
+            let r = rng.f64().max(1e-18);
+            w += 1 + if p < 1.0 {
+                (r.ln() / log1p).floor() as i64
+            } else {
+                0
+            };
+            while w >= v && (v as usize) < n {
+                w -= v;
+                v += 1;
+            }
+            if (v as usize) < n {
+                builder.add_edge(w as NodeId, v as NodeId);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Random `d`-regular-ish graph by the pairing model (collisions dropped,
+/// so degrees are `≤ d`, concentrated at `d`).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even");
+    let mut rng = SplitMix::new(seed);
+    let mut stubs: Vec<NodeId> = (0..n as NodeId).flat_map(|v| vec![v; d]).collect();
+    rng.shuffle(&mut stubs);
+    let mut builder = GraphBuilder::new(n);
+    for pair in stubs.chunks(2) {
+        if pair.len() == 2 && pair[0] != pair[1] {
+            builder.add_edge(pair[0], pair[1]);
+        }
+    }
+    builder.build()
+}
+
+/// Chung–Lu power-law graph: expected degree of node `i` is proportional
+/// to `(i+1)^{-1/(γ-1)}`, scaled to average degree `avg_deg`.
+pub fn power_law(n: usize, gamma: f64, avg_deg: f64, seed: u64) -> Graph {
+    assert!(gamma > 2.0, "gamma must exceed 2 for bounded expectation");
+    let mut rng = SplitMix::new(seed);
+    let exp = -1.0 / (gamma - 1.0);
+    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exp)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let scale = avg_deg * n as f64 / wsum;
+    let weights: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+    let wsum: f64 = weights.iter().sum();
+    // Sample ~wsum/2 edges proportional to w_i * w_j via the alias-free
+    // two-stage draw (acceptable bias at experiment scale).
+    let cdf: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let draw = |rng: &mut SplitMix| -> NodeId {
+        let x = rng.f64() * wsum;
+        cdf.partition_point(|&c| c < x).min(n - 1) as NodeId
+    };
+    let target = (wsum / 2.0) as usize;
+    let mut builder = GraphBuilder::new(n);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..target * 2 {
+        if seen.len() >= target {
+            break;
+        }
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        if a == b {
+            continue;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if seen.insert(key) {
+            builder.add_edge(key.0, key.1);
+        }
+    }
+    builder.build()
+}
+
+/// Planted almost-cliques: `k` cliques of the given sizes, each with an
+/// `eps` fraction of internal edges removed and light random wiring
+/// between cliques, plus `sparse_n` background nodes in a `G(n, m)`-style
+/// sparse cloud.  The canonical ACD test input.
+pub fn planted_cliques(
+    clique_sizes: &[usize],
+    eps: f64,
+    sparse_n: usize,
+    sparse_avg_deg: usize,
+    seed: u64,
+) -> Graph {
+    let clique_total: usize = clique_sizes.iter().sum();
+    let n = clique_total + sparse_n;
+    let mut rng = SplitMix::new(seed);
+    let mut builder = GraphBuilder::new(n);
+    let mut base = 0u32;
+    for &s in clique_sizes {
+        for a in 0..s as u32 {
+            for b in (a + 1)..s as u32 {
+                if rng.f64() >= eps {
+                    builder.add_edge(base + a, base + b);
+                }
+            }
+        }
+        base += s as u32;
+    }
+    // Sparse background.
+    if sparse_n >= 2 {
+        for _ in 0..(sparse_n * sparse_avg_deg / 2) {
+            let a = base + rng.below(sparse_n as u64) as u32;
+            let b = base + rng.below(sparse_n as u64) as u32;
+            if a != b {
+                builder.add_edge(a, b);
+            }
+        }
+        // Light wiring between cliques and cloud.
+        for _ in 0..clique_total / 4 {
+            let a = rng.below(clique_total as u64) as u32;
+            let b = base + rng.below(sparse_n as u64) as u32;
+            builder.add_edge(a, b);
+        }
+    }
+    builder.build()
+}
+
+/// Ring (cycle) on `n` nodes.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3);
+    let edges: Vec<_> = (0..n as NodeId)
+        .map(|i| (i, (i + 1) % n as NodeId))
+        .collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// 2D torus grid `rows × cols` (4-regular).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3);
+    let idx = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut edges = Vec::with_capacity(rows * cols * 2);
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push((idx(r, c), idx(r, (c + 1) % cols)));
+            edges.push((idx(r, c), idx((r + 1) % rows, c)));
+        }
+    }
+    Graph::from_edges(rows * cols, &edges)
+}
+
+/// Star with `n - 1` leaves (maximal unevenness at the leaves).
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2);
+    let edges: Vec<_> = (1..n as NodeId).map(|i| (0, i)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Complete bipartite `K_{a,b}` (dense yet triangle-free: maximal sparsity
+/// at every node — a stress case for the ACD classifier).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut edges = Vec::with_capacity(a * b);
+    for x in 0..a as NodeId {
+        for y in 0..b as NodeId {
+            edges.push((x, a as NodeId + y));
+        }
+    }
+    Graph::from_edges(a + b, &edges)
+}
+
+/// Random tree with maximum degree `max_deg`: each new node attaches to a
+/// uniformly random earlier node that still has stub capacity.  Trees are
+/// the classic worst case for local symmetry breaking (Linial's lower
+/// bound lives here).
+pub fn bounded_degree_tree(n: usize, max_deg: usize, seed: u64) -> Graph {
+    assert!(n >= 1 && max_deg >= 2);
+    let mut rng = SplitMix::new(seed);
+    let mut builder = GraphBuilder::new(n);
+    let mut capacity: Vec<u32> = Vec::with_capacity(n);
+    capacity.push(max_deg as u32);
+    let mut open: Vec<NodeId> = vec![0];
+    for v in 1..n as NodeId {
+        let slot = rng.below(open.len() as u64) as usize;
+        let parent = open[slot];
+        builder.add_edge(parent, v);
+        capacity[parent as usize] -= 1;
+        if capacity[parent as usize] == 0 {
+            open.swap_remove(slot);
+        }
+        capacity.push(max_deg as u32 - 1);
+        open.push(v);
+    }
+    builder.build()
+}
+
+/// Caterpillar: a spine path of length `spine` with `legs` leaves per
+/// spine node — maximal unevenness along the legs, a stress input for the
+/// ACD's `Vuneven` classification.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 2);
+    let n = spine * (1 + legs);
+    let mut builder = GraphBuilder::new(n);
+    for i in 0..spine as NodeId - 1 {
+        builder.add_edge(i, i + 1);
+    }
+    for i in 0..spine as NodeId {
+        for l in 0..legs as NodeId {
+            builder.add_edge(i, spine as NodeId + i * legs as NodeId + l);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_exact_edges() {
+        let g = gnm(100, 300, 1);
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.m(), 300);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        assert_eq!(gnm(50, 100, 7), gnm(50, 100, 7));
+        assert_ne!(gnm(50, 100, 7), gnm(50, 100, 8));
+    }
+
+    #[test]
+    fn gnp_density_is_right() {
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, 3);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        assert!(
+            (g.m() as f64 - expected).abs() < 0.2 * expected,
+            "m = {}, expected ≈ {expected}",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn gnp_zero_and_extremes() {
+        assert_eq!(gnp(50, 0.0, 1).m(), 0);
+        let g = gnp(20, 1.0, 1);
+        assert_eq!(g.m(), 190);
+    }
+
+    #[test]
+    fn random_regular_degrees_concentrate() {
+        let g = random_regular(200, 6, 5);
+        let low = (0..200u32).filter(|&v| g.degree(v) < 4).count();
+        assert!(low < 20, "{low} nodes far below target degree");
+        assert!(g.max_degree() <= 6);
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let g = power_law(500, 2.5, 8.0, 9);
+        let dmax = g.max_degree();
+        let avg = 2.0 * g.m() as f64 / 500.0;
+        assert!(dmax as f64 > 3.0 * avg, "Δ={dmax}, avg={avg}");
+    }
+
+    #[test]
+    fn planted_cliques_structure() {
+        let g = planted_cliques(&[20, 20], 0.05, 100, 4, 11);
+        assert_eq!(g.n(), 140);
+        // Clique nodes are much denser than cloud nodes.
+        let c_deg: usize = (0..40u32).map(|v| g.degree(v)).sum::<usize>() / 40;
+        let s_deg: usize = (40..140u32).map(|v| g.degree(v)).sum::<usize>() / 100;
+        assert!(c_deg > 2 * s_deg, "clique {c_deg} vs sparse {s_deg}");
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(5, 6);
+        assert_eq!(g.n(), 30);
+        for v in 0..30u32 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn bounded_tree_is_a_tree() {
+        let g = bounded_degree_tree(200, 4, 7);
+        assert_eq!(g.m(), 199);
+        let (_, ncomp) = g.components();
+        assert_eq!(ncomp, 1);
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(10, 3);
+        assert_eq!(g.n(), 40);
+        assert_eq!(g.m(), 9 + 30);
+        // interior spine nodes: 2 spine + 3 legs = 5
+        assert_eq!(g.degree(5), 5);
+        // legs are leaves
+        assert_eq!(g.degree(15), 1);
+    }
+
+    #[test]
+    fn star_and_bipartite_shapes() {
+        let s = star(10);
+        assert_eq!(s.degree(0), 9);
+        assert_eq!(s.degree(5), 1);
+        let b = complete_bipartite(4, 6);
+        assert_eq!(b.m(), 24);
+        assert_eq!(b.degree(0), 6);
+        assert_eq!(b.degree(4), 4);
+    }
+}

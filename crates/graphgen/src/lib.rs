@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+//! Workload generators for the `parcolor` experiments.
+//!
+//! Graph families cover the regimes the paper's pipeline distinguishes:
+//! sparse (ring/path/G(n,m) at low density), locally-sparse-but-regular
+//! (random regular), dense with structure (planted almost-cliques — the
+//! ACD's bread and butter), skewed (power-law / star — exercising
+//! unevenness), and adversarial palettes for genuine *list* coloring.
+//! All generators are deterministic in their seed.
+
+pub mod graphs;
+pub mod palettes;
+
+pub use graphs::*;
+pub use palettes::*;

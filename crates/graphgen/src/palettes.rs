@@ -1,0 +1,135 @@
+//! Palette generators: turn a graph into a D1LC instance in the regimes
+//! the paper distinguishes.
+
+use parcolor_core::instance::{D1lcInstance, PaletteArena};
+use parcolor_local::graph::{Graph, NodeId};
+use parcolor_local::tape::SplitMix;
+
+/// The (Δ+1)-coloring reduction: node `v` gets `{0, …, d(v)}`.
+pub fn degree_plus_one(g: Graph) -> D1lcInstance {
+    D1lcInstance::delta_plus_one(g)
+}
+
+/// Shared-universe lists: each node draws `d(v) + 1 + extra` distinct
+/// colors uniformly from a universe of `universe` colors.  `extra > 0`
+/// gives every node additional slack (SlackColor's favorite regime).
+pub fn random_lists(g: Graph, universe: u32, extra: usize, seed: u64) -> D1lcInstance {
+    let mut rng = SplitMix::new(seed);
+    let lists: Vec<Vec<u32>> = (0..g.n() as NodeId)
+        .map(|v| {
+            let want = (g.degree(v) + 1 + extra).min(universe as usize);
+            assert!(
+                want > g.degree(v),
+                "universe {universe} too small for degree {}",
+                g.degree(v)
+            );
+            let mut picked: Vec<u32> = Vec::with_capacity(want);
+            while picked.len() < want {
+                let c = rng.below(universe as u64) as u32;
+                if !picked.contains(&c) {
+                    picked.push(c);
+                }
+            }
+            picked
+        })
+        .collect();
+    D1lcInstance::new(g, PaletteArena::from_lists(&lists))
+}
+
+/// Adversarially disjoint-ish lists: node `v`'s palette is the contiguous
+/// window `[v·stride, v·stride + d(v)]` — neighbors share few colors,
+/// maximizing discrepancy η̄ (the `Vdisc` regime of `Vstart`).
+pub fn windowed_lists(g: Graph, stride: u32) -> D1lcInstance {
+    let lists: Vec<Vec<u32>> = (0..g.n() as NodeId)
+        .map(|v| {
+            let base = v * stride;
+            (base..=base + g.degree(v) as u32).collect()
+        })
+        .collect();
+    D1lcInstance::new(g, PaletteArena::from_lists(&lists))
+}
+
+/// Identical palettes `{0, …, Δ}` for all nodes — the classic (Δ+1)
+/// regime with zero discrepancy everywhere.
+pub fn uniform_palette(g: Graph) -> D1lcInstance {
+    let delta = g.max_degree() as u32;
+    let lists: Vec<Vec<u32>> = (0..g.n()).map(|_| (0..=delta).collect()).collect();
+    D1lcInstance::new(g, PaletteArena::from_lists(&lists))
+}
+
+/// Simulate a partially-solved (Δ+1) instance: color a seeded independent
+/// sample of nodes greedily, and return the **residual** D1LC instance on
+/// the uncolored subgraph — exactly the situation the paper's introduction
+/// names as the source of D1LC instances.
+pub fn residual_after_partial(g: Graph, fraction: f64, seed: u64) -> D1lcInstance {
+    use parcolor_core::instance::ColoringState;
+    let inst = D1lcInstance::delta_plus_one(g);
+    let mut rng = SplitMix::new(seed);
+    let mut state = ColoringState::new(&inst);
+    let mut order: Vec<NodeId> = (0..inst.n() as NodeId).collect();
+    rng.shuffle(&mut order);
+    let take = (inst.n() as f64 * fraction) as usize;
+    for &v in order.iter().take(take) {
+        if state.is_colored(v) {
+            continue;
+        }
+        let pal = state.palette(v);
+        if let Some(&c) = pal.first() {
+            state.apply_adoptions(&inst.graph, &[(v, c)]);
+        }
+    }
+    let rest = state.uncolored_nodes();
+    let (sub, _map) = state.residual_instance(&inst.graph, &rest);
+    sub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::{gnm, ring};
+
+    #[test]
+    fn random_lists_are_valid() {
+        let inst = random_lists(gnm(100, 300, 1), 64, 2, 2);
+        assert!(inst.validate().is_ok());
+        for v in 0..100u32 {
+            assert_eq!(inst.palettes.size(v), (inst.graph.degree(v) + 3).min(64));
+        }
+    }
+
+    #[test]
+    fn windowed_lists_have_low_overlap() {
+        let inst = windowed_lists(ring(10), 100);
+        assert!(inst.validate().is_ok());
+        let p0 = inst.palettes.palette(0);
+        let p1 = inst.palettes.palette(1);
+        assert!(p0.iter().all(|c| !p1.contains(c)));
+    }
+
+    #[test]
+    fn uniform_palette_sizes() {
+        let inst = uniform_palette(gnm(50, 200, 3));
+        let delta = inst.graph.max_degree();
+        for v in 0..50u32 {
+            assert_eq!(inst.palettes.size(v), delta + 1);
+        }
+        assert!(inst.validate().is_ok());
+    }
+
+    #[test]
+    fn residual_instance_is_valid_and_smaller() {
+        let inst = residual_after_partial(gnm(200, 800, 4), 0.5, 5);
+        assert!(inst.validate().is_ok());
+        assert!(inst.n() < 200);
+        assert!(inst.n() > 20);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_lists(gnm(60, 150, 9), 32, 1, 9);
+        let b = random_lists(gnm(60, 150, 9), 32, 1, 9);
+        for v in 0..60u32 {
+            assert_eq!(a.palettes.palette(v), b.palettes.palette(v));
+        }
+    }
+}

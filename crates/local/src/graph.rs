@@ -1,0 +1,492 @@
+//! Compact CSR graph representation.
+//!
+//! All algorithms in the workspace operate on undirected simple graphs with
+//! nodes identified by dense `u32` ids.  The CSR layout (one flat adjacency
+//! array plus an offsets array) keeps neighbor scans cache-friendly and lets
+//! rayon parallelize per-node work over disjoint slices — the core idiom
+//! recommended by the Rust Performance Book for this kind of workload.
+
+use rayon::prelude::*;
+
+/// Dense node identifier.
+pub type NodeId = u32;
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// Invariants (checked in debug builds and by the constructors):
+/// * adjacency lists are sorted and duplicate-free,
+/// * the graph is symmetric (`u ∈ N(v)` iff `v ∈ N(u)`),
+/// * there are no self-loops.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `adj` for node `v`.
+    offsets: Vec<u64>,
+    /// Concatenated sorted adjacency lists.
+    adj: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Build a graph from an edge list over `n` nodes.
+    ///
+    /// Edges may appear in any orientation and with duplicates; self-loops
+    /// are rejected.  Cost: `O(m log m)`.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut builder = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            builder.add_edge(u, v);
+        }
+        builder.build()
+    }
+
+    /// The empty graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            offsets: vec![0; n + 1],
+            adj: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Sorted neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Whether the edge `{u, v}` is present. `O(log d(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree Δ.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as NodeId)
+            .into_par_iter()
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n() as NodeId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Number of edges inside the subgraph induced by the *sorted* node set
+    /// `nodes`.  `O(Σ_{v∈nodes} d(v) · log |nodes|)`.
+    pub fn edges_within(&self, nodes: &[NodeId]) -> usize {
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+        let total: usize = nodes
+            .iter()
+            .map(|&v| {
+                self.neighbors(v)
+                    .iter()
+                    .filter(|&&u| nodes.binary_search(&u).is_ok())
+                    .count()
+            })
+            .sum();
+        total / 2
+    }
+
+    /// Number of edges between neighbors of `v` (the quantity `m(N(v))`
+    /// from Definition 2 of the paper, used for sparsity ζ_v).
+    ///
+    /// Computed as `½ Σ_{u∈N(v)} |N(u) ∩ N(v)|` with sorted-merge
+    /// intersections: `O(Σ_{u∈N(v)} (d(u)+d(v)))`.
+    pub fn edges_in_neighborhood(&self, v: NodeId) -> usize {
+        let nv = self.neighbors(v);
+        let total: usize = nv
+            .iter()
+            .map(|&u| sorted_intersection_size(self.neighbors(u), nv))
+            .sum();
+        total / 2
+    }
+
+    /// Size of `N(u) ∩ N(v)` (common-neighbor count), by sorted merge.
+    pub fn common_neighbors(&self, u: NodeId, v: NodeId) -> usize {
+        sorted_intersection_size(self.neighbors(u), self.neighbors(v))
+    }
+
+    /// The subgraph induced by `nodes` (need not be sorted; duplicates are
+    /// an error).  Returns the induced graph over `nodes.len()` fresh ids
+    /// plus the mapping from new id to original id.
+    pub fn induced(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut sorted: Vec<NodeId> = nodes.to_vec();
+        sorted.sort_unstable();
+        debug_assert!(sorted.windows(2).all(|w| w[0] != w[1]), "duplicate nodes");
+        // old id -> new id lookup via binary search on `sorted`.
+        let degs: Vec<usize> = sorted
+            .par_iter()
+            .map(|&v| {
+                self.neighbors(v)
+                    .iter()
+                    .filter(|&&u| sorted.binary_search(&u).is_ok())
+                    .count()
+            })
+            .collect();
+        let mut offsets = Vec::with_capacity(sorted.len() + 1);
+        offsets.push(0u64);
+        for d in &degs {
+            offsets.push(offsets.last().unwrap() + *d as u64);
+        }
+        let mut adj = vec![0 as NodeId; *offsets.last().unwrap() as usize];
+        // Fill rows in parallel: rows are disjoint slices.
+        {
+            let mut rows: Vec<&mut [NodeId]> = Vec::with_capacity(sorted.len());
+            let mut rest: &mut [NodeId] = &mut adj;
+            for d in &degs {
+                let (row, tail) = rest.split_at_mut(*d);
+                rows.push(row);
+                rest = tail;
+            }
+            rows.par_iter_mut().enumerate().for_each(|(new_v, row)| {
+                let v = sorted[new_v];
+                let mut k = 0;
+                for &u in self.neighbors(v) {
+                    if let Ok(new_u) = sorted.binary_search(&u) {
+                        row[k] = new_u as NodeId;
+                        k += 1;
+                    }
+                }
+                debug_assert_eq!(k, row.len());
+            });
+        }
+        (Graph { offsets, adj }, sorted)
+    }
+
+    /// Check that `colors[v] != colors[u]` for every edge; `None` colors
+    /// (encoded by callers as sentinels) must be pre-filtered — this checker
+    /// treats every entry as a committed color.
+    pub fn is_proper_coloring(&self, colors: &[u32]) -> bool {
+        assert_eq!(colors.len(), self.n());
+        (0..self.n() as NodeId).into_par_iter().all(|v| {
+            self.neighbors(v)
+                .iter()
+                .all(|&u| colors[u as usize] != colors[v as usize])
+        })
+    }
+
+    /// Connected components; returns `(component_id per node, #components)`.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let n = self.n();
+        let mut comp = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut stack = Vec::new();
+        for start in 0..n as NodeId {
+            if comp[start as usize] != u32::MAX {
+                continue;
+            }
+            comp[start as usize] = next;
+            stack.push(start);
+            while let Some(v) = stack.pop() {
+                for &u in self.neighbors(v) {
+                    if comp[u as usize] == u32::MAX {
+                        comp[u as usize] = next;
+                        stack.push(u);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (comp, next as usize)
+    }
+
+    /// Greedy proper coloring with colors drawn from per-node palettes.
+    ///
+    /// Used as the "collect onto one machine and finish greedily" step of
+    /// Theorem 12 and as a sequential baseline.  `palette(v)` must contain
+    /// at least `degree(v)+1` colors for the greedy argument to always
+    /// succeed.  Returns `None` if some node runs out of palette (only
+    /// possible if the precondition is violated).
+    pub fn greedy_color_with<F>(&self, order: &[NodeId], palette: F) -> Option<Vec<u32>>
+    where
+        F: Fn(NodeId) -> Vec<u32>,
+    {
+        let mut colors = vec![u32::MAX; self.n()];
+        for &v in order {
+            let mut taken: Vec<u32> = self
+                .neighbors(v)
+                .iter()
+                .map(|&u| colors[u as usize])
+                .filter(|&c| c != u32::MAX)
+                .collect();
+            taken.sort_unstable();
+            let chosen = palette(v)
+                .into_iter()
+                .find(|c| taken.binary_search(c).is_err())?;
+            colors[v as usize] = chosen;
+        }
+        Some(colors)
+    }
+
+    /// Total words needed to store the graph (offsets + adjacency), used by
+    /// the MPC space accountant.
+    pub fn words(&self) -> usize {
+        self.offsets.len() + self.adj.len()
+    }
+
+    /// Construct directly from parts (used by [`GraphBuilder`] and tests).
+    pub(crate) fn from_parts(offsets: Vec<u64>, adj: Vec<NodeId>) -> Self {
+        let g = Graph { offsets, adj };
+        debug_assert!(g.validate().is_ok(), "invalid CSR parts");
+        g
+    }
+
+    /// Validate all structural invariants; used by property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n();
+        if *self.offsets.last().unwrap() as usize != self.adj.len() {
+            return Err("offsets do not cover adj".into());
+        }
+        for v in 0..n as NodeId {
+            let nb = self.neighbors(v);
+            if !nb.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("adjacency of {v} not sorted/dedup"));
+            }
+            if nb.contains(&v) {
+                return Err(format!("self loop at {v}"));
+            }
+            if nb.iter().any(|&u| u as usize >= n) {
+                return Err(format!("out of range neighbor at {v}"));
+            }
+            for &u in nb {
+                if !self.has_edge(u, v) {
+                    return Err(format!("asymmetric edge {v}-{u}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Size of the intersection of two sorted slices.
+#[inline]
+pub fn sorted_intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
+    // Two-pointer merge; switch to galloping when lengths are lopsided.
+    if a.len() > 8 * b.len() {
+        return b.iter().filter(|x| a.binary_search(x).is_ok()).count();
+    }
+    if b.len() > 8 * a.len() {
+        return a.iter().filter(|x| b.binary_search(x).is_ok()).count();
+    }
+    let (mut i, mut j, mut out) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Incremental builder that deduplicates and symmetrizes edges.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Builder over `n` nodes with no edges yet.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Queue the undirected edge `{u, v}`.  Panics on self-loops or
+    /// out-of-range endpoints.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(u != v, "self loop {u}");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range n={}",
+            self.n
+        );
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Finalize into CSR form: sorts, dedups and symmetrizes. `O(m log m)`.
+    pub fn build(mut self) -> Graph {
+        self.edges.par_sort_unstable();
+        self.edges.dedup();
+        let mut deg = vec![0u64; self.n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0u64);
+        for d in &deg {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut cursor: Vec<u64> = offsets[..self.n].to_vec();
+        let mut adj = vec![0 as NodeId; *offsets.last().unwrap() as usize];
+        for &(u, v) in &self.edges {
+            adj[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Rows were filled in increasing (u,v) order: row of u receives v's
+        // in increasing order for v>u but interleaved with v<u entries, so a
+        // per-row sort is still required.
+        {
+            let mut rows: Vec<&mut [NodeId]> = Vec::with_capacity(self.n);
+            let mut rest: &mut [NodeId] = &mut adj;
+            for v in 0..self.n {
+                let d = (offsets[v + 1] - offsets[v]) as usize;
+                let (row, tail) = rest.split_at_mut(d);
+                rows.push(row);
+                rest = tail;
+            }
+            rows.par_iter_mut().for_each(|row| row.sort_unstable());
+        }
+        Graph::from_parts(offsets, adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as NodeId - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn builds_path() {
+        let g = path(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn dedups_and_symmetrizes() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn triangle_neighborhood_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)]);
+        // N(0) = {1,2,3}; edges inside: (1,2), (2,3) -> 2
+        assert_eq!(g.edges_in_neighborhood(0), 2);
+        // N(2) = {0,1,3}; edges inside: (0,1),(0,3) -> 2
+        assert_eq!(g.edges_in_neighborhood(2), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_maps_back() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+        let (h, map) = g.induced(&[1, 2, 4]);
+        assert_eq!(h.n(), 3);
+        assert_eq!(map, vec![1, 2, 4]);
+        // edges among {1,2,4}: (1,2) and (1,4)
+        assert_eq!(h.m(), 2);
+        assert!(h.has_edge(0, 1)); // 1-2
+        assert!(h.has_edge(0, 2)); // 1-4
+        assert!(!h.has_edge(1, 2)); // 2-4 absent
+    }
+
+    #[test]
+    fn empty_induced() {
+        let g = path(4);
+        let (h, map) = g.induced(&[]);
+        assert_eq!(h.n(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn proper_coloring_checker() {
+        let g = path(4);
+        assert!(g.is_proper_coloring(&[0, 1, 0, 1]));
+        assert!(!g.is_proper_coloring(&[0, 0, 1, 0]));
+    }
+
+    #[test]
+    fn components_of_two_paths() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let (comp, k) = g.components();
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[5]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn greedy_colors_with_minimal_palettes() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let order: Vec<NodeId> = (0..5).collect();
+        let colors = g
+            .greedy_color_with(&order, |v| (0..=g.degree(v) as u32).collect())
+            .unwrap();
+        assert!(g.is_proper_coloring(&colors));
+    }
+
+    #[test]
+    fn edges_within_subset() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        assert_eq!(g.edges_within(&[0, 1, 2]), 2);
+        assert_eq!(g.edges_within(&[0, 2, 4]), 1);
+        assert_eq!(g.edges_within(&[1, 3]), 0);
+    }
+
+    #[test]
+    fn common_neighbors_counts() {
+        let g = Graph::from_edges(5, &[(0, 2), (1, 2), (0, 3), (1, 3), (0, 4)]);
+        assert_eq!(g.common_neighbors(0, 1), 2); // {2,3}
+        assert_eq!(g.common_neighbors(2, 3), 2); // {0,1}
+        assert_eq!(g.common_neighbors(2, 4), 1); // {0}
+    }
+
+    #[test]
+    fn max_degree_and_words() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.words(), 5 + 6);
+    }
+}

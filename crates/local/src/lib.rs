@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! LOCAL-model substrate for the `parcolor` workspace.
+//!
+//! This crate provides the shared building blocks used by every other crate
+//! in the reproduction of *"Parallel Derandomization for Coloring"*
+//! (Coy, Czumaj, Davies-Peck, Mishra; IPDPS 2024, arXiv:2302.04378):
+//!
+//! * [`graph::Graph`] — a compact CSR (compressed-sparse-row) undirected
+//!   graph, the substrate on which both the LOCAL and MPC simulations run.
+//! * [`power`] — explicit construction of graph powers `G^k`, needed by the
+//!   derandomization framework (Theorem 12 colors `G^{4τ}` to split PRG
+//!   output into per-node chunks).
+//! * [`tape`] — the [`tape::Randomness`] abstraction: a *deterministic
+//!   function* from `(node, stream, index)` to random words.  Randomized
+//!   executions use a seeded cryptographic stream ([`tape::CryptoTape`]);
+//!   derandomized executions substitute a PRG keyed by a short seed chosen
+//!   by the method of conditional expectations (supplied by `parcolor-prg`
+//!   through the same trait).
+//! * [`engine`] — a synchronous round engine with round/message metrics,
+//!   used to run LOCAL procedures and to charge their simulation cost.
+//!
+//! The design follows the session's HPC guides: data-parallel loops are
+//! expressed with rayon over disjoint per-node slices (data-race freedom by
+//! construction), hot paths avoid per-node allocation (flat arenas +
+//! offsets), and all cross-thread accumulation uses reductions rather than
+//! shared mutable state.
+
+pub mod engine;
+pub mod graph;
+pub mod message;
+pub mod power;
+pub mod tape;
+
+pub use engine::{LocalMetrics, RoundEngine};
+pub use graph::{Graph, GraphBuilder, NodeId};
+pub use tape::{CryptoTape, Randomness, SplitMix};

@@ -1,0 +1,84 @@
+//! (2Δ−1)-edge-coloring through the D1LC pipeline.
+//!
+//! ```sh
+//! cargo run --release --example edge_coloring
+//! ```
+//!
+//! The paper's introduction motivates D1LC partly as the engine inside
+//! edge-coloring algorithms.  This example builds a switch-fabric-like
+//! multistage network, reduces (2Δ−1)-edge-coloring to D1LC on the line
+//! graph, and colors it deterministically — every color class is then a
+//! conflict-free transmission round of the fabric.
+
+use parcolor_core::edge_coloring::{edge_color_deterministic, verify_edge_coloring};
+use parcolor_core::{Graph, NodeId, Params};
+use parcolor_local::tape::SplitMix;
+
+fn main() {
+    // Three-stage Clos-like fabric: 16 inputs, 16 middles, 16 outputs;
+    // each input connects to 6 random middles, each middle to 6 outputs.
+    let stage = 16u32;
+    let mut rng = SplitMix::new(12);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for i in 0..stage {
+        let mut used = Vec::new();
+        while used.len() < 6 {
+            let m = stage + rng.below(stage as u64) as u32;
+            if !used.contains(&m) {
+                used.push(m);
+                edges.push((i, m));
+            }
+        }
+    }
+    for m in stage..2 * stage {
+        let mut used = Vec::new();
+        while used.len() < 6 {
+            let o = 2 * stage + rng.below(stage as u64) as u32;
+            if !used.contains(&o) {
+                used.push(o);
+                edges.push((m, o));
+            }
+        }
+    }
+    let g = Graph::from_edges(3 * stage as usize, &edges);
+    println!("== (2Δ−1)-edge-coloring a switch fabric ==");
+    println!(
+        "ports={}  links={}  max port degree Δ={}  bound 2Δ−1={}",
+        g.n(),
+        g.m(),
+        g.max_degree(),
+        2 * g.max_degree() - 1
+    );
+
+    let ec = edge_color_deterministic(&g, Params::default().with_seed_bits(6));
+    verify_edge_coloring(&g, &ec).expect("proper edge coloring");
+
+    println!("\ndeterministic schedule found:");
+    println!("  transmission rounds (colors) : {}", ec.palette_size());
+    println!(
+        "  MPC rounds charged           : {}",
+        ec.solution.cost.mpc_rounds
+    );
+    println!(
+        "  LOCAL rounds charged         : {}",
+        ec.solution.cost.local_rounds
+    );
+
+    // Show the first few rounds' schedules.
+    for round in 0..3.min(ec.palette_size() as u32) {
+        let links: Vec<String> = ec
+            .edges
+            .iter()
+            .zip(ec.colors.iter())
+            .filter(|(_, &c)| c == round)
+            .take(8)
+            .map(|(&(u, v), _)| format!("{u}->{v}"))
+            .collect();
+        println!(
+            "  round {round}: {} links, e.g. {}",
+            ec.colors.iter().filter(|&&c| c == round).count(),
+            links.join(", ")
+        );
+    }
+    println!("\nEvery round is conflict-free at every port (verified) ✓");
+}

@@ -1,0 +1,140 @@
+//! Radio frequency assignment on a cellular deployment.
+//!
+//! ```sh
+//! cargo run --release --example frequency_assignment
+//! ```
+//!
+//! Towers are nodes; an edge means two towers' coverage areas overlap and
+//! they must broadcast on different channels.  Each tower's *list* is the
+//! set of channels it is licensed for in its region — a genuine
+//! list-coloring constraint.  Dense urban clusters produce almost-cliques
+//! (the ACD's dense case); the rural backbone is sparse.  We compare the
+//! deterministic pipeline with the randomized one and with greedy.
+
+use parcolor_core::baselines::{greedy_sequential, luby_style_local};
+use parcolor_core::instance::{D1lcInstance, PaletteArena};
+use parcolor_core::{Graph, NodeId, Params, Solver};
+use parcolor_local::tape::SplitMix;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = SplitMix::new(7);
+    // Geometry: 30 urban clusters of 12-24 towers (dense overlap) plus a
+    // rural grid chain connecting them.
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut base = 0u32;
+    let mut cluster_spans = Vec::new();
+    for _ in 0..30 {
+        let size = 12 + rng.below(13) as u32;
+        for a in 0..size {
+            for b in (a + 1)..size {
+                if rng.f64() < 0.85 {
+                    edges.push((base + a, base + b));
+                }
+            }
+        }
+        cluster_spans.push((base, size));
+        base += size;
+    }
+    // Rural towers: a long corridor, each overlapping its neighbors and
+    // occasionally a nearby cluster's edge tower.
+    let rural = 600u32;
+    for i in 0..rural - 1 {
+        edges.push((base + i, base + i + 1));
+        if i % 3 == 0 && i > 0 {
+            edges.push((base + i, base + i - 1));
+        }
+    }
+    for (cbase, size) in &cluster_spans {
+        let r = base + rng.below(rural as u64) as u32;
+        edges.push((*cbase + rng.below(*size as u64) as u32, r));
+    }
+    let n = (base + rural) as usize;
+    let g = Graph::from_edges(n, &edges);
+
+    // Licensing: region r may use channels [40r, 40r + licensed); each
+    // tower gets its region's band, widened with national channels
+    // (10_000+) if its overlap degree demands more.
+    let lists: Vec<Vec<u32>> = (0..n as NodeId)
+        .map(|v| {
+            let region = v / 100;
+            let need = g.degree(v) + 1;
+            let licensed = 30.max(need);
+            let mut l: Vec<u32> = (region * 40..region * 40 + licensed.min(40) as u32).collect();
+            let mut nat = 10_000;
+            while l.len() < need {
+                l.push(nat);
+                nat += 1;
+            }
+            l
+        })
+        .collect();
+    let inst = D1lcInstance::new(g, PaletteArena::from_lists(&lists));
+
+    println!("== frequency assignment via D1LC ==");
+    println!(
+        "towers={}  overlaps={}  max overlap degree={}",
+        n,
+        inst.graph.m(),
+        inst.graph.max_degree()
+    );
+
+    let t0 = Instant::now();
+    let det = Solver::deterministic(Params::default().with_seed_bits(6)).solve(&inst);
+    let t_det = t0.elapsed();
+    inst.verify_coloring(&det.colors).unwrap();
+
+    let t0 = Instant::now();
+    let rand = Solver::randomized(Params::default(), 3).solve(&inst);
+    let t_rand = t0.elapsed();
+    inst.verify_coloring(&rand.colors).unwrap();
+
+    let t0 = Instant::now();
+    let (greedy_colors, _) = greedy_sequential(&inst);
+    let t_greedy = t0.elapsed();
+
+    let t0 = Instant::now();
+    let (_, luby) = luby_style_local(&inst, 5, 100_000);
+    let t_luby = t0.elapsed();
+
+    let national = |cs: &[u32]| cs.iter().filter(|&&c| c >= 10_000).count();
+    println!(
+        "\n{:<28}{:>12}{:>16}{:>14}",
+        "method", "MPC rounds", "national chans", "wall time"
+    );
+    println!(
+        "{:<28}{:>12}{:>16}{:>14?}",
+        "deterministic (Thm 1)",
+        det.cost.mpc_rounds,
+        national(&det.colors),
+        t_det
+    );
+    println!(
+        "{:<28}{:>12}{:>16}{:>14?}",
+        "randomized (Lemma 4)",
+        rand.cost.mpc_rounds,
+        national(&rand.colors),
+        t_rand
+    );
+    println!(
+        "{:<28}{:>12}{:>16}{:>14?}",
+        "sequential greedy",
+        "n/a",
+        national(&greedy_colors),
+        t_greedy
+    );
+    println!(
+        "{:<28}{:>12}{:>16}{:>14?}",
+        "plain randomized LOCAL", luby.rounds, "-", t_luby
+    );
+    println!(
+        "\nHKNT structure found: {} almost-cliques across {} stage runs",
+        det.stats
+            .mid_reports
+            .iter()
+            .map(|r| r.cliques)
+            .max()
+            .unwrap_or(0),
+        det.stats.mid_invocations
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: solve a (degree+1)-list-coloring instance deterministically.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a random graph, turns it into the canonical D1LC instance
+//! (palette `{0..d(v)}` per node), solves it with the paper's
+//! deterministic pipeline (Theorem 1) and with the randomized baseline
+//! (Lemma 4), and prints the round/space accounting both ways.
+
+use parcolor_core::{Params, Solver};
+use parcolor_graphgen::{degree_plus_one, gnm};
+
+fn main() {
+    let n = 2_000;
+    let m = 12_000;
+    println!("== parcolor quickstart ==");
+    println!("instance: G(n={n}, m={m}), palettes = {{0..deg(v)}}\n");
+
+    let inst = degree_plus_one(gnm(n, m, 42));
+
+    // Theorem 1: deterministic D1LC.
+    let params = Params::default().with_seed_bits(6);
+    let det = Solver::deterministic(params.clone()).solve(&inst);
+    inst.verify_coloring(&det.colors).expect("verified");
+    println!("deterministic (Theorem 1):");
+    println!("  LOCAL rounds charged : {}", det.cost.local_rounds);
+    println!("  MPC rounds charged   : {}", det.cost.mpc_rounds);
+    println!("  max machine words    : {}", det.cost.max_machine_words);
+    println!("  HKNT invocations     : {}", det.stats.mid_invocations);
+    println!("  deferrals (total)    : {}", det.stats.total_deferrals);
+    println!("  finished by low-deg  : {}", det.stats.lowdeg_finished);
+    println!("  finished by greedy   : {}", det.stats.greedy_finished);
+
+    // Lemma 4: randomized baseline on the same instance.
+    let rand = Solver::randomized(params, 7).solve(&inst);
+    inst.verify_coloring(&rand.colors).expect("verified");
+    println!("\nrandomized (Lemma 4):");
+    println!("  LOCAL rounds charged : {}", rand.cost.local_rounds);
+    println!("  MPC rounds charged   : {}", rand.cost.mpc_rounds);
+
+    // Both complete colorings are proper and palette-respecting; the
+    // derandomized one is bit-reproducible run to run.
+    let det2 = Solver::deterministic(Params::default().with_seed_bits(6)).solve(&inst);
+    assert_eq!(det.colors, det2.colors);
+    println!("\nreproducibility check: deterministic solver is bit-stable ✓");
+}

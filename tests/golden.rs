@@ -1,0 +1,63 @@
+//! Golden determinism tests: the deterministic solver (Theorem 1) is
+//! bit-reproducible, so the coloring of a fixed instance under fixed
+//! parameters is a constant.  These hashes pin that constant; they fail
+//! if *any* behavioral change slips into the deterministic pipeline —
+//! seed search, PRG, procedure order, ACD tie-breaks, anything.
+//!
+//! If a change is intentional, regenerate with the snippet in this file's
+//! history (FNV-1a over the color vector) and update the table — the
+//! point is that such changes are *noticed*, not forbidden.
+
+use parcolor_core::{Params, Solver};
+use parcolor_graphgen as gen;
+
+fn fnv(colors: &[u32]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &c in colors {
+        h ^= c as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+const GOLDEN: &[(&str, u64)] = &[
+    ("gnm_small", 0x304417442566199d),
+    ("powerlaw", 0x628f1bf94afb89b6),
+    ("planted", 0x97632bb00d9c50dc),
+    ("lists", 0x952f23117cd4dd63),
+    ("torus", 0x8fe1d40d608200de),
+];
+
+fn instance_of(name: &str) -> parcolor_core::D1lcInstance {
+    match name {
+        "gnm_small" => gen::degree_plus_one(gen::gnm(500, 2_000, 1)),
+        "powerlaw" => gen::degree_plus_one(gen::power_law(500, 2.5, 8.0, 2)),
+        "planted" => gen::degree_plus_one(gen::planted_cliques(&[24, 20], 0.1, 300, 6, 3)),
+        "lists" => gen::random_lists(gen::gnm(400, 1_600, 4), 1_024, 2, 5),
+        "torus" => gen::degree_plus_one(gen::torus(15, 15)),
+        other => panic!("unknown golden case {other}"),
+    }
+}
+
+#[test]
+fn deterministic_solver_matches_golden_hashes() {
+    for &(name, expected) in GOLDEN {
+        let inst = instance_of(name);
+        let sol = Solver::deterministic(Params::default().with_seed_bits(5)).solve(&inst);
+        inst.verify_coloring(&sol.colors).unwrap();
+        let got = fnv(&sol.colors);
+        assert_eq!(
+            got, expected,
+            "{name}: deterministic output drifted (got 0x{got:016x})"
+        );
+    }
+}
+
+#[test]
+fn golden_hashes_are_distinct() {
+    // Guards against a copy-paste error in the table itself.
+    let mut hs: Vec<u64> = GOLDEN.iter().map(|&(_, h)| h).collect();
+    hs.sort_unstable();
+    hs.dedup();
+    assert_eq!(hs.len(), GOLDEN.len());
+}

@@ -1,0 +1,150 @@
+//! End-to-end D1LC integration tests: every graph family × palette regime
+//! through the full deterministic (Theorem 1) and randomized (Lemma 4)
+//! pipelines, with verification after every solve.
+
+use parcolor_core::baselines::greedy_sequential;
+use parcolor_core::{D1lcInstance, Params, SeedStrategy, Solver};
+use parcolor_graphgen as gen;
+
+fn fast_params() -> Params {
+    Params::default().with_seed_bits(5)
+}
+
+fn solve_both_ways(inst: &D1lcInstance) {
+    let det = Solver::deterministic(fast_params()).solve(inst);
+    inst.verify_coloring(&det.colors).expect("deterministic");
+    let rand = Solver::randomized(fast_params(), 11).solve(inst);
+    inst.verify_coloring(&rand.colors).expect("randomized");
+}
+
+#[test]
+fn gnm_medium() {
+    solve_both_ways(&gen::degree_plus_one(gen::gnm(3_000, 15_000, 1)));
+}
+
+#[test]
+fn gnp_sparse() {
+    solve_both_ways(&gen::degree_plus_one(gen::gnp(2_000, 0.003, 2)));
+}
+
+#[test]
+fn random_regular_graph() {
+    solve_both_ways(&gen::degree_plus_one(gen::random_regular(2_000, 12, 3)));
+}
+
+#[test]
+fn power_law_graph() {
+    solve_both_ways(&gen::degree_plus_one(gen::power_law(2_000, 2.5, 8.0, 4)));
+}
+
+#[test]
+fn planted_almost_cliques() {
+    let g = gen::planted_cliques(&[40, 40, 30, 30], 0.1, 1_000, 6, 5);
+    solve_both_ways(&gen::degree_plus_one(g));
+}
+
+#[test]
+fn torus_grid() {
+    solve_both_ways(&gen::degree_plus_one(gen::torus(40, 50)));
+}
+
+#[test]
+fn star_graph() {
+    solve_both_ways(&gen::degree_plus_one(gen::star(1_500)));
+}
+
+#[test]
+fn complete_bipartite_graph() {
+    solve_both_ways(&gen::degree_plus_one(gen::complete_bipartite(60, 60)));
+}
+
+#[test]
+fn random_list_palettes() {
+    let inst = gen::random_lists(gen::gnm(1_500, 7_500, 6), 256, 3, 7);
+    solve_both_ways(&inst);
+}
+
+#[test]
+fn windowed_adversarial_palettes() {
+    let inst = gen::windowed_lists(gen::gnm(1_000, 4_000, 8), 1_000);
+    solve_both_ways(&inst);
+}
+
+#[test]
+fn uniform_shared_palette() {
+    solve_both_ways(&gen::uniform_palette(gen::gnm(1_200, 6_000, 9)));
+}
+
+#[test]
+fn residual_of_partial_solve() {
+    // The paper's motivating case: D1LC instances arise as residuals of
+    // partially-solved (Δ+1) instances.
+    let inst = gen::residual_after_partial(gen::gnm(2_000, 10_000, 10), 0.6, 11);
+    solve_both_ways(&inst);
+}
+
+#[test]
+fn degree_reduction_path_end_to_end() {
+    // Cap the mid-degree threshold to force LowSpaceColorReduce recursion.
+    let inst = gen::degree_plus_one(gen::gnm(1_500, 30_000, 12)); // avg deg 40
+    let params = fast_params().with_mid_degree_cap(16).with_greedy_cutoff(48);
+    let sol = Solver::deterministic(params).solve(&inst);
+    inst.verify_coloring(&sol.colors).unwrap();
+    assert!(sol.stats.partitions >= 1, "recursion path not taken");
+    assert!(
+        sol.stats.partition_stats.iter().all(|p| p.bins >= 3),
+        "degenerate partition"
+    );
+}
+
+#[test]
+fn deterministic_matches_itself_across_strategies_for_validity() {
+    // All seed strategies must yield *valid* colorings (not identical ones).
+    let inst = gen::degree_plus_one(gen::gnm(800, 4_000, 13));
+    for strategy in [
+        SeedStrategy::Exhaustive,
+        SeedStrategy::FixedSubset(16),
+        SeedStrategy::BitwiseCondExp,
+        SeedStrategy::SingleSeed(3),
+    ] {
+        let params = fast_params().with_strategy(strategy);
+        let sol = Solver::deterministic(params).solve(&inst);
+        inst.verify_coloring(&sol.colors)
+            .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+    }
+}
+
+#[test]
+fn solver_never_uses_more_colors_than_greedy_universe() {
+    // Sanity: on (Δ+1) instances, every color is ≤ Δ by construction.
+    let inst = gen::degree_plus_one(gen::gnm(1_000, 5_000, 14));
+    let delta = inst.graph.max_degree() as u32;
+    let sol = Solver::deterministic(fast_params()).solve(&inst);
+    assert!(sol.colors.iter().all(|&c| c <= delta));
+    let (gcolors, _) = greedy_sequential(&inst);
+    assert!(gcolors.iter().all(|&c| c <= delta));
+}
+
+#[test]
+fn randomized_keys_explore_different_colorings() {
+    let inst = gen::degree_plus_one(gen::gnm(1_000, 8_000, 15));
+    let a = Solver::randomized(fast_params(), 1).solve(&inst);
+    let b = Solver::randomized(fast_params(), 2).solve(&inst);
+    assert_ne!(a.colors, b.colors);
+}
+
+#[test]
+fn deterministic_bit_reproducible_across_families() {
+    for (i, inst) in [
+        gen::degree_plus_one(gen::gnm(600, 3_000, 20)),
+        gen::random_lists(gen::power_law(600, 2.6, 6.0, 21), 128, 2, 22),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let a = Solver::deterministic(fast_params()).solve(inst);
+        let b = Solver::deterministic(fast_params()).solve(inst);
+        assert_eq!(a.colors, b.colors, "family {i} not reproducible");
+        assert_eq!(a.cost.mpc_rounds, b.cost.mpc_rounds);
+    }
+}
