@@ -2,14 +2,20 @@
 //! exhaustive argmin, the bitwise method of conditional expectations
 //! (the paper's MPC implementation), the deterministic fixed-subset
 //! surrogate, and an unoptimized single seed.
+//!
+//! The second half benchmarks the **seed-search fast path** (scratch-buffer
+//! simulation + per-seed pick caching + seed-parallel fold) against the
+//! reference allocation-heavy path at `seed_bits = 16`, and writes the
+//! before/after numbers to `BENCH_seed_search.json` so the trajectory is
+//! tracked across PRs.
 
 use parcolor_bench::{f1, f2, s, scaled, timed, Table};
-use parcolor_core::framework::NormalProcedure;
+use parcolor_core::framework::{NormalProcedure, SimScratch};
 use parcolor_core::hknt::procs::{SspMode, StageSet, TryRandomColor};
 use parcolor_core::instance::ColoringState;
 use parcolor_core::{D1lcInstance, NodeId};
 use parcolor_graphgen::gnm;
-use parcolor_prg::{select_seed, ChunkAssignment, Prg, PrgTape, SeedStrategy};
+use parcolor_prg::{select_seed, select_seed_with, ChunkAssignment, Prg, PrgTape, SeedStrategy};
 
 fn main() {
     println!("# E6: seed-selection strategies (one TryRandomColor step)\n");
@@ -63,4 +69,90 @@ fn main() {
     t.print();
     println!("\nBitwiseCondExp must land at or below the mean (Lemma 10); Exhaustive");
     println!("gives the floor; FixedSubset trades a little quality for throughput.");
+
+    fastpath_comparison();
+}
+
+/// Reference vs fast path at `seed_bits = 16` — the derandomizer's hot
+/// loop at full production seed length.  Emits `BENCH_seed_search.json`.
+fn fastpath_comparison() {
+    let seed_bits = 16u32;
+    let n = scaled(2_000, 256);
+    let g = gnm(n, n * 4, 7);
+    let inst = D1lcInstance::delta_plus_one(g.clone());
+    let state = ColoringState::new(&inst);
+    let set = StageSet::new(n, (0..n as NodeId).collect());
+    let proc = TryRandomColor::new(&g, set, SspMode::Colored, 1);
+    let prg = Prg::new(seed_bits);
+    let chunks = ChunkAssignment::PerNode;
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    println!(
+        "\n# Fast path vs reference at seed_bits = {seed_bits} (n = {n}, m = {})",
+        g.m()
+    );
+    let mut t = Table::new(&[
+        "strategy",
+        "reference ms",
+        "fast ms",
+        "speedup",
+        "same seed",
+    ]);
+    let mut rows_json = Vec::new();
+    for (name, strategy) in [
+        ("Exhaustive", SeedStrategy::Exhaustive),
+        ("BitwiseCondExp", SeedStrategy::BitwiseCondExp),
+    ] {
+        let (old_sel, old_ms) = timed(|| {
+            select_seed(seed_bits, strategy, |seed| {
+                let tape = PrgTape::new(prg, seed, &chunks);
+                let out = proc.simulate(&state, &tape);
+                proc.seed_cost(&state, &out)
+            })
+        });
+        let (new_sel, new_ms) = timed(|| {
+            select_seed_with(
+                seed_bits,
+                strategy,
+                || SimScratch::new(n),
+                |seed, scratch| {
+                    let tape = PrgTape::new(prg, seed, &chunks);
+                    proc.seed_cost_fused(&state, &tape, scratch)
+                },
+            )
+        });
+        let same = old_sel.seed == new_sel.seed && old_sel.cost == new_sel.cost;
+        assert!(same, "{name}: fast path diverged from reference");
+        let speedup = old_ms / new_ms.max(1e-9);
+        // The streaming bitwise walk re-evaluates ~2× seeds instead of
+        // materializing the 2^d cost table; report per-evaluation speedup
+        // alongside wall-clock so the trade is visible.
+        let space = 1u64 << seed_bits;
+        let (ref_evals, fast_evals) = match strategy {
+            SeedStrategy::BitwiseCondExp => (space, 2 * space - 1),
+            _ => (space, space),
+        };
+        let per_eval = (old_ms / ref_evals as f64) / (new_ms / fast_evals as f64).max(1e-12);
+        t.row(&[s(name), f1(old_ms), f1(new_ms), f2(speedup), s(same)]);
+        rows_json.push(format!(
+            "    {{\"strategy\": \"{name}\", \"reference_ms\": {old_ms:.1}, \
+             \"fastpath_ms\": {new_ms:.1}, \"speedup\": {speedup:.2}, \
+             \"reference_evals\": {ref_evals}, \"fastpath_evals\": {fast_evals}, \
+             \"per_eval_speedup\": {per_eval:.2}, \
+             \"chosen_seed\": {}, \"chosen_cost\": {}}}",
+            new_sel.seed, new_sel.cost
+        ));
+    }
+    t.print();
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e6_seed_search_fastpath\",\n  \"seed_bits\": {seed_bits},\n  \
+         \"n\": {n},\n  \"m\": {},\n  \"workers\": {workers},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        g.m(),
+        rows_json.join(",\n")
+    );
+    match std::fs::write("BENCH_seed_search.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_seed_search.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_seed_search.json: {e}"),
+    }
 }

@@ -16,16 +16,47 @@
 //! residual instance `O(1/δ)` times, then finishing greedily on one
 //! machine — lives in `solver.rs`, because it needs D1LC's
 //! self-reducibility (`ColoringState::residual_instance`).
+//!
+//! ## The seed-search fast path and its cost model
+//!
+//! The derandomizer's hot loop evaluates the pessimistic estimator once
+//! per candidate seed — `2^seed_bits` full simulations per step.  Three
+//! structural decisions keep that loop at memory speed:
+//!
+//! 1. **Scratch-buffer simulation** ([`SimScratch`]).  Every procedure
+//!    implements [`NormalProcedure::simulate_into`], writing its outcome
+//!    into a reusable arena (epoch-stamped per-node caches, flat adoption
+//!    / aux buffers).  After one warm-up evaluation a seed evaluation
+//!    performs **zero heap allocation**.
+//! 2. **Per-seed pick caching.**  A node's random draw under a fixed seed
+//!    is the same no matter which neighbor asks, so `simulate_into`
+//!    computes each active node's pick **once** into the scratch
+//!    (`O(n_active)` tape reads) and resolves clashes with `O(m)` array
+//!    lookups — versus `O(Σ_v d(v))` tape reads for the naïve
+//!    re-evaluate-per-edge formulation of [`NormalProcedure::simulate`].
+//! 3. **Flat seed-parallelism.**  `parcolor_prg::select_seed_with` folds
+//!    the seed space over scoped threads, one scratch per worker; the
+//!    per-seed simulation is sequential.  One level of parallelism, no
+//!    oversubscription, and the fold merges in chunk order so results are
+//!    bit-identical for any worker count.
+//!
+//! Per derandomized step the fast path therefore costs
+//! `O(2^seed_bits · (n_active + m_active) / workers)` with no allocation,
+//! and `BitwiseCondExp` streams each half-space mean instead of
+//! materializing the `2^seed_bits` cost table (see
+//! `parcolor_prg::seed_search`).  `tests/seed_fastpath_equivalence.rs`
+//! pins the fast path to the reference path: identical `SeedSelection`
+//! (seed, cost, mean, trace) and identical outcomes for every strategy.
 
 use crate::config::{ChunkMode, Params};
-use crate::instance::ColoringState;
+use crate::instance::{ColoringState, NO_COLOR};
 use crate::linial::linial_coloring;
 use parcolor_local::engine::RoundEngine;
 use parcolor_local::graph::{Graph, NodeId};
 use parcolor_local::power::power_graph;
 use parcolor_local::tape::{CryptoTape, Randomness};
 use parcolor_mpc::{MpcConfig, NodeMpc};
-use parcolor_prg::{select_seed, ChunkAssignment, Prg, PrgTape, SeedSelection, SeedStrategy};
+use parcolor_prg::{select_seed_with, ChunkAssignment, Prg, PrgTape, SeedSelection, SeedStrategy};
 use serde::Serialize;
 
 /// Output of simulating one normal procedure (the `Out_v` of Definition 5,
@@ -36,6 +67,221 @@ pub struct Outcome {
     pub adoptions: Vec<(NodeId, u32)>,
     /// Procedure-specific extra output (e.g. PutAside's sampled set).
     pub aux: Vec<NodeId>,
+}
+
+/// Reusable per-worker arena for seed evaluations — the zero-allocation
+/// backing store of [`NormalProcedure::simulate_into`].
+///
+/// All per-node caches are **epoch-stamped**: [`SimScratch::begin`] bumps
+/// one epoch counter instead of clearing `O(n)` memory, so starting a new
+/// seed evaluation is `O(1)` plus truncating the flat outcome buffers.
+/// Capacity is retained across evaluations; after the first evaluation of
+/// a step, subsequent seeds perform no heap allocation.
+#[derive(Clone, Debug)]
+pub struct SimScratch {
+    n: usize,
+    epoch: u32,
+    // -- outcome buffers (the Outcome of the current evaluation) --
+    /// Conflict-free adoptions of the current evaluation, in active order.
+    pub adoptions: Vec<(NodeId, u32)>,
+    /// Aux node-set output of the current evaluation.
+    pub aux: Vec<NodeId>,
+    // -- dense adopted-color view (valid where stamp matches epoch) --
+    adopted: Vec<u32>,
+    adopted_stamp: Vec<u32>,
+    // -- per-node caches for pick/proposal, sample bits, probabilities --
+    picks: Vec<u32>,
+    pick_stamp: Vec<u32>,
+    bits: Vec<bool>,
+    bit_stamp: Vec<u32>,
+    probs: Vec<f64>,
+    prob_stamp: Vec<u32>,
+    mark_stamp: Vec<u32>,
+    // -- flat arenas reused by individual procedures --
+    /// Flat candidate-color arena (MultiTrial draws).
+    pub draw_colors: Vec<u32>,
+    /// Offsets into [`SimScratch::draw_colors`], one per active node + 1.
+    pub draw_off: Vec<usize>,
+    /// Small sorted-set buffer (SSP slack evaluation).
+    pub taken: Vec<u32>,
+    /// Permutation buffer (SynchColorTrial leader deals).
+    pub perm: Vec<u32>,
+}
+
+impl SimScratch {
+    /// Arena for an `n`-node state.
+    pub fn new(n: usize) -> Self {
+        SimScratch {
+            n,
+            epoch: 0,
+            adoptions: Vec::new(),
+            aux: Vec::new(),
+            adopted: vec![NO_COLOR; n],
+            adopted_stamp: vec![0; n],
+            picks: vec![NO_COLOR; n],
+            pick_stamp: vec![0; n],
+            bits: vec![false; n],
+            bit_stamp: vec![0; n],
+            probs: vec![0.0; n],
+            prob_stamp: vec![0; n],
+            mark_stamp: vec![0; n],
+            draw_colors: Vec::new(),
+            draw_off: Vec::new(),
+            taken: Vec::new(),
+            perm: Vec::new(),
+        }
+    }
+
+    /// Number of nodes the arena is sized for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Start a fresh evaluation: invalidate all per-node caches (O(1))
+    /// and truncate the outcome buffers.  Every `simulate_into`
+    /// implementation must call this first.
+    pub fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            // Stamp wrap (once per 2^32 evaluations): hard-reset.
+            self.adopted_stamp.iter_mut().for_each(|s| *s = 0);
+            self.pick_stamp.iter_mut().for_each(|s| *s = 0);
+            self.bit_stamp.iter_mut().for_each(|s| *s = 0);
+            self.prob_stamp.iter_mut().for_each(|s| *s = 0);
+            self.mark_stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.adoptions.clear();
+        self.aux.clear();
+        self.draw_colors.clear();
+        self.draw_off.clear();
+    }
+
+    /// Record an adoption `(v, c)` (also maintains the dense view).
+    #[inline]
+    pub fn record_adoption(&mut self, v: NodeId, c: u32) {
+        self.adoptions.push((v, c));
+        self.adopted[v as usize] = c;
+        self.adopted_stamp[v as usize] = self.epoch;
+    }
+
+    /// Color adopted by `v` in the current evaluation (`NO_COLOR` if none).
+    #[inline]
+    pub fn adopted_color(&self, v: NodeId) -> u32 {
+        if self.adopted_stamp[v as usize] == self.epoch {
+            self.adopted[v as usize]
+        } else {
+            NO_COLOR
+        }
+    }
+
+    /// Cache a pick/proposal for `v`.
+    #[inline]
+    pub fn set_pick(&mut self, v: NodeId, c: u32) {
+        self.picks[v as usize] = c;
+        self.pick_stamp[v as usize] = self.epoch;
+    }
+
+    /// Cached pick of `v`, if set this evaluation.
+    #[inline]
+    pub fn pick(&self, v: NodeId) -> Option<u32> {
+        (self.pick_stamp[v as usize] == self.epoch).then(|| self.picks[v as usize])
+    }
+
+    /// Cached pick of `v` without the stamp check — for hot loops where
+    /// the caller guarantees `set_pick(v, ..)` ran this evaluation (e.g.
+    /// every active node was filled in a prior pass).
+    #[inline]
+    pub fn pick_unchecked(&self, v: NodeId) -> u32 {
+        debug_assert_eq!(self.pick_stamp[v as usize], self.epoch, "stale pick");
+        self.picks[v as usize]
+    }
+
+    /// Stamp-free pick write for fused cost evaluations that fill every
+    /// node they will subsequently read via [`SimScratch::pick_raw`].
+    /// Never mix with stamped reads ([`SimScratch::pick`]) in the same
+    /// evaluation.
+    #[inline]
+    pub fn set_pick_raw(&mut self, v: NodeId, c: u32) {
+        self.picks[v as usize] = c;
+    }
+
+    /// Stamp-free pick read; only valid after [`SimScratch::set_pick_raw`]
+    /// wrote `v` in the same evaluation.
+    #[inline]
+    pub fn pick_raw(&self, v: NodeId) -> u32 {
+        self.picks[v as usize]
+    }
+
+    /// Cache a boolean (e.g. "sampled") for `v`.
+    #[inline]
+    pub fn set_bit(&mut self, v: NodeId, b: bool) {
+        self.bits[v as usize] = b;
+        self.bit_stamp[v as usize] = self.epoch;
+    }
+
+    /// Cached boolean of `v` (false if unset this evaluation).
+    #[inline]
+    pub fn bit(&self, v: NodeId) -> bool {
+        self.bit_stamp[v as usize] == self.epoch && self.bits[v as usize]
+    }
+
+    /// Cache a per-node probability for `v`.
+    #[inline]
+    pub fn set_prob(&mut self, v: NodeId, p: f64) {
+        self.probs[v as usize] = p;
+        self.prob_stamp[v as usize] = self.epoch;
+    }
+
+    /// Cached probability of `v` (0.0 if unset this evaluation).
+    #[inline]
+    pub fn prob(&self, v: NodeId) -> f64 {
+        if self.prob_stamp[v as usize] == self.epoch {
+            self.probs[v as usize]
+        } else {
+            0.0
+        }
+    }
+
+    /// Add `v` to the evaluation-scoped mark set.
+    #[inline]
+    pub fn mark(&mut self, v: NodeId) {
+        self.mark_stamp[v as usize] = self.epoch;
+    }
+
+    /// Add `v` to the mark set, reporting whether it was newly added
+    /// (lets clash scans count distinct clashed nodes on the fly).
+    #[inline]
+    pub fn mark_new(&mut self, v: NodeId) -> bool {
+        let fresh = self.mark_stamp[v as usize] != self.epoch;
+        self.mark_stamp[v as usize] = self.epoch;
+        fresh
+    }
+
+    /// Whether `v` is in the mark set.
+    #[inline]
+    pub fn is_marked(&self, v: NodeId) -> bool {
+        self.mark_stamp[v as usize] == self.epoch
+    }
+
+    /// Copy an [`Outcome`] into the arena (used by the default
+    /// `simulate_into`, which delegates to allocating `simulate`).
+    pub fn load_outcome(&mut self, out: &Outcome) {
+        self.begin();
+        for &(v, c) in &out.adoptions {
+            self.record_adoption(v, c);
+        }
+        self.aux.extend_from_slice(&out.aux);
+    }
+
+    /// Materialize the current evaluation as an [`Outcome`] (allocates;
+    /// used once per step to apply the chosen seed, never per seed).
+    pub fn to_outcome(&self) -> Outcome {
+        Outcome {
+            adoptions: self.adoptions.clone(),
+            aux: self.aux.clone(),
+        }
+    }
 }
 
 /// A normal `(τ, Δ)`-round distributed procedure (Definition 5).
@@ -62,6 +308,46 @@ pub trait NormalProcedure: Sync {
 
     /// Simulate the procedure on the current state under `rng`.
     fn simulate(&self, state: &ColoringState, rng: &dyn Randomness) -> Outcome;
+
+    /// Simulate into a reusable scratch arena — the zero-allocation fast
+    /// path driven once per candidate seed by the derandomizer.
+    ///
+    /// Must be **outcome-equivalent** to [`NormalProcedure::simulate`]
+    /// (same adoptions in the same order, same aux set) and must call
+    /// `scratch.begin()` first.  Implementations should be sequential:
+    /// seed-level parallelism is supplied outside, by `select_seed_with`.
+    /// The default delegates to `simulate` (correct, but allocating).
+    fn simulate_into(&self, state: &ColoringState, rng: &dyn Randomness, scratch: &mut SimScratch) {
+        let out = self.simulate(state, rng);
+        scratch.load_outcome(&out);
+    }
+
+    /// [`NormalProcedure::seed_cost`] evaluated against the scratch arena
+    /// filled by the latest `simulate_into` — must return exactly the same
+    /// value `seed_cost` would for the equivalent [`Outcome`].  The
+    /// default materializes the outcome (allocating); hot procedures
+    /// override it with allocation-free counting.
+    fn seed_cost_scratch(&self, state: &ColoringState, scratch: &mut SimScratch) -> f64 {
+        let out = scratch.to_outcome();
+        self.seed_cost(state, &out)
+    }
+
+    /// One fused seed evaluation: simulate under `rng` and return the seed
+    /// cost.  Must equal `simulate_into` + `seed_cost_scratch` (and hence
+    /// `simulate` + `seed_cost`) — but implementations may skip producing
+    /// the outcome when the cost alone is cheaper to compute (e.g. a
+    /// clash count).  This is what the derandomizer calls per candidate
+    /// seed; the outcome of the *chosen* seed is always re-simulated via
+    /// `simulate_into`.
+    fn seed_cost_fused(
+        &self,
+        state: &ColoringState,
+        rng: &dyn Randomness,
+        scratch: &mut SimScratch,
+    ) -> f64 {
+        self.simulate_into(state, rng, scratch);
+        self.seed_cost_scratch(state, scratch)
+    }
 
     /// Nodes failing the strong success property under `out`.  Must be a
     /// subset of the active uncolored-after-outcome nodes: a node that the
@@ -135,6 +421,8 @@ pub struct Runner<'g> {
     chaos: f64,
     /// Nodes deferred by injection rather than SSP failure (telemetry).
     pub chaos_deferrals: usize,
+    /// Reusable arena for applying the chosen seed (derandomized mode).
+    scratch: Option<SimScratch>,
 }
 
 impl<'g> Runner<'g> {
@@ -154,6 +442,7 @@ impl<'g> Runner<'g> {
             last_aux: Vec::new(),
             chaos: params.chaos_defer_prob,
             chaos_deferrals: 0,
+            scratch: None,
         }
     }
 
@@ -191,6 +480,7 @@ impl<'g> Runner<'g> {
             last_aux: Vec::new(),
             chaos: params.chaos_defer_prob,
             chaos_deferrals: 0,
+            scratch: None,
         }
     }
 
@@ -254,24 +544,36 @@ impl<'g> Runner<'g> {
                 strategy,
                 chunks,
             } => {
+                // Fast path: scratch-buffer simulation, one arena per
+                // seed-search worker, sequential inner simulation.
                 let st: &ColoringState = state;
-                let cost = |seed: u64| {
-                    let tape = PrgTape::new(*prg, seed, chunks);
-                    let keyed = StreamTape {
-                        inner: &tape,
-                        stream,
-                    };
-                    let out = proc.simulate(st, &keyed);
-                    proc.seed_cost(st, &out)
-                };
-                let sel = select_seed(prg.seed_bits(), *strategy, cost);
+                let n = st.n();
+                let sel = select_seed_with(
+                    prg.seed_bits(),
+                    *strategy,
+                    || SimScratch::new(n),
+                    |seed, scratch| {
+                        let tape = PrgTape::new(*prg, seed, chunks);
+                        let keyed = StreamTape {
+                            inner: &tape,
+                            stream,
+                        };
+                        proc.seed_cost_fused(st, &keyed, scratch)
+                    },
+                );
                 debug_assert!(sel.satisfies_guarantee());
                 let tape = PrgTape::new(*prg, sel.seed, chunks);
                 let keyed = StreamTape {
                     inner: &tape,
                     stream,
                 };
-                (proc.simulate(state, &keyed), Some(sel))
+                let scratch = &mut self.scratch;
+                let scratch = scratch.get_or_insert_with(|| SimScratch::new(n));
+                if scratch.n() != n {
+                    *scratch = SimScratch::new(n);
+                }
+                proc.simulate_into(st, &keyed, scratch);
+                (scratch.to_outcome(), Some(sel))
             }
         };
 

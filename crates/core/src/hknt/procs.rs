@@ -12,7 +12,7 @@
 //!   [`Randomness`] tape, keeping `simulate` a pure function of the seed —
 //!   the property the derandomizer relies on.
 
-use crate::framework::{NormalProcedure, Outcome};
+use crate::framework::{NormalProcedure, Outcome, SimScratch};
 use crate::instance::ColoringState;
 use parcolor_local::graph::{Graph, NodeId};
 use parcolor_local::tape::Randomness;
@@ -64,14 +64,16 @@ impl StageSet {
     }
 }
 
-/// Post-outcome metrics: active degree and slack of `v` if `out` were
-/// applied.  Used by the SSP evaluators (they must judge the *result* of
-/// the procedure without mutating the state).
-fn post_deg_slack(
+/// Post-outcome metrics: active degree and slack of `v` under a given
+/// adopted-color lookup (dense map for the reference path, scratch view
+/// for the fast path — one formula, two lookups, so the two paths cannot
+/// diverge).  `taken` is a reusable sorted-set buffer.
+fn post_deg_slack_with(
     g: &Graph,
     state: &ColoringState,
     set: &StageSet,
-    adopted: &[u32],
+    adopted_of: impl Fn(NodeId) -> u32,
+    taken: &mut Vec<u32>,
     v: NodeId,
 ) -> (usize, i64) {
     let mut deg = 0usize;
@@ -81,12 +83,12 @@ fn post_deg_slack(
     // colors only: two non-adjacent neighbors may adopt the same color but
     // v's palette loses it once.  Neighbor lists are short (≤ Δ); a sorted
     // scratch vector beats hashing here.
-    let mut taken: Vec<u32> = Vec::new();
+    taken.clear();
     for &u in g.neighbors(v) {
         if !set.contains(u) {
             continue;
         }
-        let c = adopted[u as usize];
+        let c = adopted_of(u);
         if c == crate::instance::NO_COLOR {
             deg += 1;
         } else if pal.contains(&c) {
@@ -98,6 +100,18 @@ fn post_deg_slack(
     }
     let slack = (pal.len() - pal_lost) as i64 - deg as i64;
     (deg, slack)
+}
+
+/// [`post_deg_slack_with`] against a dense adoption map (reference path).
+fn post_deg_slack(
+    g: &Graph,
+    state: &ColoringState,
+    set: &StageSet,
+    adopted: &[u32],
+    v: NodeId,
+) -> (usize, i64) {
+    let mut taken = Vec::new();
+    post_deg_slack_with(g, state, set, |u| adopted[u as usize], &mut taken, v)
 }
 
 /// Dense `adopted-color` lookup built once per SSP evaluation.
@@ -168,6 +182,111 @@ fn uncolored_cost(set: &StageSet, state: &ColoringState, out: &Outcome) -> f64 {
 }
 
 // ---------------------------------------------------------------------
+// Allocation-free SSP evaluation against a SimScratch (fast path).
+//
+// These mirror `post_deg_slack` / `evaluate_ssp` / `uncolored_cost` but
+// read the scratch's dense adopted view and count instead of collecting —
+// no adoption map, no Vec of failures, no per-call allocation.
+// ---------------------------------------------------------------------
+
+/// [`post_deg_slack_with`] against the scratch's adopted view (fast path).
+fn post_deg_slack_scratch(
+    g: &Graph,
+    state: &ColoringState,
+    set: &StageSet,
+    scratch: &SimScratch,
+    taken: &mut Vec<u32>,
+    v: NodeId,
+) -> (usize, i64) {
+    post_deg_slack_with(g, state, set, |u| scratch.adopted_color(u), taken, v)
+}
+
+/// `evaluate_ssp(..).len()` without materializing anything.
+fn evaluate_ssp_count(
+    g: &Graph,
+    state: &ColoringState,
+    set: &StageSet,
+    ssp: &SspMode,
+    scratch: &mut SimScratch,
+) -> usize {
+    match ssp {
+        SspMode::Auto => 0,
+        // Adoptions are unique active nodes, so the uncolored count is a
+        // length difference — O(1) in the hottest SSP mode.
+        SspMode::Colored => uncolored_count_scratch(set, scratch),
+        SspMode::SlackRatio(ratio) => {
+            let mut taken = std::mem::take(&mut scratch.taken);
+            let count = set
+                .active
+                .iter()
+                .filter(|&&v| {
+                    if scratch.adopted_color(v) != crate::instance::NO_COLOR {
+                        return false; // colored ⇒ success
+                    }
+                    let (deg, slack) =
+                        post_deg_slack_scratch(g, state, set, scratch, &mut taken, v);
+                    (slack as f64) < ratio * deg as f64
+                })
+                .count();
+            scratch.taken = taken;
+            count
+        }
+        SspMode::SlackTarget(targets) => slack_target_count(g, state, set, targets, scratch),
+    }
+}
+
+/// `SlackTarget` failure count against per-active-node targets.
+fn slack_target_count(
+    g: &Graph,
+    state: &ColoringState,
+    set: &StageSet,
+    targets: &[f64],
+    scratch: &mut SimScratch,
+) -> usize {
+    let mut taken = std::mem::take(&mut scratch.taken);
+    let count = set
+        .active
+        .iter()
+        .zip(targets.iter())
+        .filter(|&(&v, &t)| {
+            if t <= 0.0 || scratch.adopted_color(v) != crate::instance::NO_COLOR {
+                return false;
+            }
+            let (_, slack) = post_deg_slack_scratch(g, state, set, scratch, &mut taken, v);
+            (slack as f64) < t
+        })
+        .count();
+    scratch.taken = taken;
+    count
+}
+
+/// Active nodes left uncolored in the scratch evaluation.  Adoptions are
+/// unique active nodes, so this is a constant-time difference.
+fn uncolored_count_scratch(set: &StageSet, scratch: &SimScratch) -> usize {
+    debug_assert!(scratch.adoptions.iter().all(|&(v, _)| set.contains(v)));
+    set.active.len() - scratch.adoptions.len()
+}
+
+/// All edges whose endpoints are both in `set`, each once as `(a, b)` with
+/// `a < b`.  One flat pass at first use replaces per-seed adjacency walks:
+/// the clash scan then touches a contiguous edge array with pre-filtered
+/// membership instead of re-checking masks per neighbor per seed.
+fn collect_active_edges(g: &Graph, set: &StageSet) -> Vec<(NodeId, NodeId)> {
+    let mut edges = Vec::new();
+    for &v in &set.active {
+        for &u in g.neighbors(v).iter().rev() {
+            if u <= v {
+                break;
+            }
+            if set.contains(u) {
+                edges.push((v, u));
+            }
+        }
+    }
+    edges
+}
+
+// ---------------------------------------------------------------------
 // TryRandomColor (Algorithm 3)
 // ---------------------------------------------------------------------
 
@@ -183,6 +302,10 @@ pub struct TryRandomColor<'a> {
     pub ssp: SspMode,
     /// Distinguishes repeated calls within one stage (fresh randomness).
     pub round_tag: u64,
+    /// Edges with both endpoints active, each once (`a < b`) — built
+    /// lazily on the first seed evaluation and amortized over the whole
+    /// seed space; read-only afterwards, shared across workers.
+    active_edges: std::sync::OnceLock<Vec<(NodeId, NodeId)>>,
 }
 
 impl<'a> TryRandomColor<'a> {
@@ -193,7 +316,13 @@ impl<'a> TryRandomColor<'a> {
             set,
             ssp,
             round_tag,
+            active_edges: std::sync::OnceLock::new(),
         }
+    }
+
+    fn active_edges(&self) -> &[(NodeId, NodeId)] {
+        self.active_edges
+            .get_or_init(|| collect_active_edges(self.g, &self.set))
     }
 
     #[inline]
@@ -231,6 +360,71 @@ impl NormalProcedure for TryRandomColor<'_> {
         Outcome {
             adoptions,
             aux: Vec::new(),
+        }
+    }
+
+    fn simulate_into(&self, state: &ColoringState, rng: &dyn Randomness, scratch: &mut SimScratch) {
+        scratch.begin();
+        // Pick caching: one tape read per active node (the naïve
+        // `simulate` above re-derives `pick(u)` once per incident edge).
+        for &v in &self.set.active {
+            scratch.set_pick(v, self.pick(state, rng, v));
+        }
+        // Clashing is symmetric: one pass over the pre-filtered active
+        // edge list marks both endpoints of every same-pick edge.
+        for &(a, b) in self.active_edges() {
+            if scratch.pick_unchecked(a) == scratch.pick_unchecked(b) {
+                scratch.mark(a);
+                scratch.mark(b);
+            }
+        }
+        for &v in &self.set.active {
+            if !scratch.is_marked(v) {
+                let c = scratch.pick_unchecked(v);
+                scratch.record_adoption(v, c);
+            }
+        }
+    }
+
+    fn seed_cost_scratch(&self, state: &ColoringState, scratch: &mut SimScratch) -> f64 {
+        match self.ssp {
+            SspMode::Auto => uncolored_count_scratch(&self.set, scratch) as f64,
+            _ => evaluate_ssp_count(self.g, state, &self.set, &self.ssp, scratch) as f64,
+        }
+    }
+
+    fn seed_cost_fused(
+        &self,
+        state: &ColoringState,
+        rng: &dyn Randomness,
+        scratch: &mut SimScratch,
+    ) -> f64 {
+        match self.ssp {
+            // For Colored (and the Auto warm-up cost) the failure count is
+            // exactly the number of clashed nodes: skip recording the
+            // adoption outcome entirely and count marks during the scan.
+            SspMode::Colored | SspMode::Auto => {
+                scratch.begin();
+                // Stamp-free fill: every pick read below is of a node
+                // written in this pass, so the validity stamps are dead
+                // weight here.
+                for &v in &self.set.active {
+                    scratch.set_pick_raw(v, self.pick(state, rng, v));
+                }
+                let mut clashed = 0usize;
+                for &(a, b) in self.active_edges() {
+                    if scratch.pick_raw(a) == scratch.pick_raw(b) {
+                        clashed += usize::from(scratch.mark_new(a));
+                        clashed += usize::from(scratch.mark_new(b));
+                    }
+                }
+                clashed as f64
+            }
+            // Slack-based SSPs need neighbors' adopted colors: full path.
+            _ => {
+                self.simulate_into(state, rng, scratch);
+                self.seed_cost_scratch(state, scratch)
+            }
         }
     }
 
@@ -293,34 +487,49 @@ impl<'a> MultiTrial<'a> {
 
     /// Sorted set of `min(x, p(v))` distinct colors from `v`'s palette.
     fn draw(&self, state: &ColoringState, rng: &dyn Randomness, v: NodeId) -> Vec<u32> {
+        let mut buf = Vec::new();
+        let mut tmp = Vec::new();
+        self.draw_into(state, rng, v, &mut buf, &mut tmp);
+        buf
+    }
+
+    /// Append the sorted candidate set of `v` to `buf` (allocation-free
+    /// once `buf`/`tmp` have warmed up).  Tape addressing is identical to
+    /// the historical `draw`, so outcomes are unchanged.
+    fn draw_into(
+        &self,
+        state: &ColoringState,
+        rng: &dyn Randomness,
+        v: NodeId,
+        buf: &mut Vec<u32>,
+        tmp: &mut Vec<u32>,
+    ) {
         let pal = state.palette(v);
         let want = self.x.min(pal.len());
         let stream = S_PICK ^ (self.round_tag << 8) ^ 0x4d54;
-        let mut chosen: Vec<u32> = if want * 2 >= pal.len() {
+        let start = buf.len();
+        if want * 2 >= pal.len() {
             // Dense draw: partial Fisher-Yates over a palette copy.
-            let mut buf: Vec<u32> = pal.to_vec();
+            tmp.clear();
+            tmp.extend_from_slice(pal);
             for i in 0..want {
-                let j = i + rng.below(v, stream, i as u32, (buf.len() - i) as u64) as usize;
-                buf.swap(i, j);
+                let j = i + rng.below(v, stream, i as u32, (tmp.len() - i) as u64) as usize;
+                tmp.swap(i, j);
             }
-            buf.truncate(want);
-            buf
+            buf.extend_from_slice(&tmp[..want]);
         } else {
             // Sparse draw: rejection sampling of distinct indices.
-            let mut picked: Vec<u32> = Vec::with_capacity(want);
             let mut idx = 0u32;
-            while picked.len() < want {
+            while buf.len() - start < want {
                 let j = rng.below(v, stream, 1000 + idx, pal.len() as u64) as usize;
                 idx += 1;
                 let c = pal[j];
-                if !picked.contains(&c) {
-                    picked.push(c);
+                if !buf[start..].contains(&c) {
+                    buf.push(c);
                 }
             }
-            picked
-        };
-        chosen.sort_unstable();
-        chosen
+        }
+        buf[start..].sort_unstable();
     }
 }
 
@@ -370,6 +579,47 @@ impl NormalProcedure for MultiTrial<'_> {
         }
     }
 
+    fn simulate_into(&self, state: &ColoringState, rng: &dyn Randomness, scratch: &mut SimScratch) {
+        scratch.begin();
+        // Phase 1: every active node draws into the flat candidate arena.
+        let mut draw_colors = std::mem::take(&mut scratch.draw_colors);
+        let mut draw_off = std::mem::take(&mut scratch.draw_off);
+        let mut tmp = std::mem::take(&mut scratch.perm);
+        draw_off.push(0);
+        for &v in &self.set.active {
+            self.draw_into(state, rng, v, &mut draw_colors, &mut tmp);
+            draw_off.push(draw_colors.len());
+        }
+        // Phase 2: adopt the first candidate no active neighbor drew.
+        for (i, &v) in self.set.active.iter().enumerate() {
+            let mine = &draw_colors[draw_off[i]..draw_off[i + 1]];
+            'cand: for &c in mine {
+                for &u in self.g.neighbors(v) {
+                    if !self.set.contains(u) {
+                        continue;
+                    }
+                    let p = self.pos[u as usize] as usize;
+                    let theirs = &draw_colors[draw_off[p]..draw_off[p + 1]];
+                    if theirs.binary_search(&c).is_ok() {
+                        continue 'cand;
+                    }
+                }
+                scratch.record_adoption(v, c);
+                break;
+            }
+        }
+        scratch.draw_colors = draw_colors;
+        scratch.draw_off = draw_off;
+        scratch.perm = tmp;
+    }
+
+    fn seed_cost_scratch(&self, state: &ColoringState, scratch: &mut SimScratch) -> f64 {
+        match self.ssp {
+            SspMode::Auto => uncolored_count_scratch(&self.set, scratch) as f64,
+            _ => evaluate_ssp_count(self.g, state, &self.set, &self.ssp, scratch) as f64,
+        }
+    }
+
     fn ssp_failures(&self, state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
         evaluate_ssp(self.g, state, &self.set, &self.ssp, out)
     }
@@ -401,6 +651,8 @@ pub struct GenerateSlack<'a> {
     pub targets: Vec<f64>,
     /// Distinguishes repeated calls within one stage.
     pub round_tag: u64,
+    /// Active-active edges, built lazily at first seed evaluation.
+    active_edges: std::sync::OnceLock<Vec<(NodeId, NodeId)>>,
 }
 
 impl<'a> GenerateSlack<'a> {
@@ -413,7 +665,13 @@ impl<'a> GenerateSlack<'a> {
             prob,
             targets,
             round_tag,
+            active_edges: std::sync::OnceLock::new(),
         }
+    }
+
+    fn active_edges(&self) -> &[(NodeId, NodeId)] {
+        self.active_edges
+            .get_or_init(|| collect_active_edges(self.g, &self.set))
     }
 
     #[inline]
@@ -457,6 +715,38 @@ impl NormalProcedure for GenerateSlack<'_> {
             adoptions,
             aux: Vec::new(),
         }
+    }
+
+    fn simulate_into(&self, state: &ColoringState, rng: &dyn Randomness, scratch: &mut SimScratch) {
+        scratch.begin();
+        // Cache sampling + pick once per active node ("sampled" ⇔ a pick
+        // is cached); the naïve path re-derives both per incident edge.
+        for &v in &self.set.active {
+            if self.sampled(rng, v) {
+                scratch.set_pick(v, self.pick(state, rng, v));
+            }
+        }
+        // Same-pick collisions between sampled nodes are symmetric: one
+        // pass over the pre-filtered active edge list marks both ends.
+        for &(a, b) in self.active_edges() {
+            if let (Some(ca), Some(cb)) = (scratch.pick(a), scratch.pick(b)) {
+                if ca == cb {
+                    scratch.mark(a);
+                    scratch.mark(b);
+                }
+            }
+        }
+        for &v in &self.set.active {
+            if let Some(c) = scratch.pick(v) {
+                if !scratch.is_marked(v) {
+                    scratch.record_adoption(v, c);
+                }
+            }
+        }
+    }
+
+    fn seed_cost_scratch(&self, state: &ColoringState, scratch: &mut SimScratch) -> f64 {
+        slack_target_count(self.g, state, &self.set, &self.targets, scratch) as f64
     }
 
     fn ssp_failures(&self, state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
@@ -562,6 +852,62 @@ impl NormalProcedure for SynchColorTrial<'_> {
             adoptions,
             aux: Vec::new(),
         }
+    }
+
+    fn simulate_into(&self, state: &ColoringState, rng: &dyn Randomness, scratch: &mut SimScratch) {
+        scratch.begin();
+        // Phase 1: leaders deal colors; proposals live in the pick cache.
+        let mut perm = std::mem::take(&mut scratch.perm);
+        for ct in &self.cliques {
+            let pal = state.palette(ct.leader);
+            if pal.is_empty() {
+                continue;
+            }
+            // Leader permutes its palette with its own randomness.
+            perm.clear();
+            perm.extend_from_slice(pal);
+            let stream = S_PERM ^ (self.round_tag << 8);
+            for i in (1..perm.len()).rev() {
+                let j = rng.below(ct.leader, stream, i as u32, (i + 1) as u64) as usize;
+                perm.swap(i, j);
+            }
+            for (k, &v) in ct.inliers.iter().take(perm.len()).enumerate() {
+                scratch.set_pick(v, perm[k]);
+            }
+        }
+        scratch.perm = perm;
+        // Phase 2: symmetric conflict resolution + palette membership.
+        for &v in &self.set.active {
+            let Some(c) = scratch.pick(v) else { continue };
+            if !state.palette(v).contains(&c) {
+                continue;
+            }
+            let clash = self
+                .g
+                .neighbors(v)
+                .iter()
+                .any(|&u| scratch.pick(u) == Some(c));
+            if !clash {
+                scratch.record_adoption(v, c);
+            }
+        }
+    }
+
+    fn seed_cost_scratch(&self, _state: &ColoringState, scratch: &mut SimScratch) -> f64 {
+        let mut total = 0usize;
+        for ct in &self.cliques {
+            let failed = ct
+                .inliers
+                .iter()
+                .filter(|&&v| {
+                    self.set.contains(v) && scratch.adopted_color(v) == crate::instance::NO_COLOR
+                })
+                .count();
+            if failed > self.tolerance {
+                total += failed;
+            }
+        }
+        total as f64
     }
 
     fn ssp_failures(&self, state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
@@ -671,6 +1017,58 @@ impl NormalProcedure for PutAside<'_> {
             adoptions: Vec::new(),
             aux,
         }
+    }
+
+    fn simulate_into(&self, state: &ColoringState, rng: &dyn Randomness, scratch: &mut SimScratch) {
+        let _ = state;
+        scratch.begin();
+        // Per-node sampling probability: only inlier entries are stamped
+        // (the naïve path memsets an O(n) table every evaluation).
+        for cq in &self.cliques {
+            for &v in &cq.inliers {
+                scratch.set_prob(v, cq.prob);
+            }
+        }
+        // Sample bit cached once per active node (≙ once per edge before).
+        for &v in &self.set.active {
+            let pv = scratch.prob(v);
+            scratch.set_bit(v, pv > 0.0 && self.sampled(rng, v, pv));
+        }
+        // P = sampled nodes with no sampled neighbor (anywhere).
+        for &v in &self.set.active {
+            if !scratch.bit(v) {
+                continue;
+            }
+            let blocked = self
+                .g
+                .neighbors(v)
+                .iter()
+                .any(|&u| self.set.contains(u) && scratch.bit(u));
+            if !blocked {
+                scratch.aux.push(v);
+            }
+        }
+    }
+
+    fn seed_cost_scratch(&self, _state: &ColoringState, scratch: &mut SimScratch) -> f64 {
+        // Mark P, then count per-clique target misses — allocation-free
+        // equivalent of `ssp_failures(..).len()`.
+        for i in 0..scratch.aux.len() {
+            let v = scratch.aux[i];
+            scratch.mark(v);
+        }
+        let mut total = 0usize;
+        for cq in &self.cliques {
+            let got = cq.inliers.iter().filter(|&&v| scratch.is_marked(v)).count();
+            if got < cq.target {
+                total += cq
+                    .inliers
+                    .iter()
+                    .filter(|&&v| self.set.contains(v) && !scratch.is_marked(v))
+                    .count();
+            }
+        }
+        total as f64
     }
 
     fn ssp_failures(&self, _state: &ColoringState, out: &Outcome) -> Vec<NodeId> {

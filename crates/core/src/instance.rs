@@ -24,20 +24,39 @@ pub struct PaletteArena {
 
 impl PaletteArena {
     /// Build from per-node color lists.  Each list is deduplicated; order
-    /// is preserved otherwise.
+    /// is preserved otherwise (first occurrence wins).
+    ///
+    /// Small lists dedup with a linear probe; above a cutoff the probe's
+    /// `O(k²)` cost dominates instance construction, so larger lists
+    /// sort-dedup `(color, first_position)` pairs and restore input order —
+    /// `O(k log k)` with identical output.
     pub fn from_lists(lists: &[Vec<u32>]) -> Self {
+        const SORT_DEDUP_CUTOFF: usize = 32;
         let mut offsets = Vec::with_capacity(lists.len() + 1);
         offsets.push(0u64);
         let mut colors = Vec::new();
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
         for list in lists {
-            let mut seen: Vec<u32> = Vec::with_capacity(list.len());
             for &c in list {
                 assert!(c != NO_COLOR, "color value u32::MAX is reserved");
-                if !seen.contains(&c) {
-                    seen.push(c);
-                }
             }
-            colors.extend_from_slice(&seen);
+            if list.len() <= SORT_DEDUP_CUTOFF {
+                let start = colors.len();
+                for &c in list {
+                    if !colors[start..].contains(&c) {
+                        colors.push(c);
+                    }
+                }
+            } else {
+                pairs.clear();
+                pairs.extend(list.iter().enumerate().map(|(i, &c)| (c, i as u32)));
+                // Keep the first occurrence of each color, then restore
+                // input order by position.
+                pairs.sort_unstable();
+                pairs.dedup_by_key(|&mut (c, _)| c);
+                pairs.sort_unstable_by_key(|&(_, pos)| pos);
+                colors.extend(pairs.iter().map(|&(c, _)| c));
+            }
             offsets.push(colors.len() as u64);
         }
         PaletteArena { offsets, colors }
@@ -474,6 +493,21 @@ mod tests {
     #[should_panic]
     fn reserved_color_rejected() {
         PaletteArena::from_lists(&[vec![NO_COLOR]]);
+    }
+
+    #[test]
+    fn large_list_sort_dedup_preserves_first_occurrence_order() {
+        // Above the sort-dedup cutoff: interleaved duplicates across a
+        // list long enough to take the O(k log k) path.
+        let list: Vec<u32> = (0..120u32).map(|i| (i * 7 + 3) % 40).collect();
+        let mut expect: Vec<u32> = Vec::new();
+        for &c in &list {
+            if !expect.contains(&c) {
+                expect.push(c);
+            }
+        }
+        let pa = PaletteArena::from_lists(&[list]);
+        assert_eq!(pa.palette(0), &expect[..]);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use parcolor_local::graph::{Graph, NodeId};
 use parcolor_local::tape::{CryptoTape, Randomness};
-use parcolor_prg::{select_seed, ChunkAssignment, Prg, PrgTape, SeedStrategy};
+use parcolor_prg::{select_seed_with, ChunkAssignment, Prg, PrgTape, SeedStrategy};
 use rayon::prelude::*;
 use serde::Serialize;
 
@@ -64,6 +64,70 @@ fn undominated(g: &Graph, live: &[bool], joined: &[NodeId]) -> usize {
         .into_par_iter()
         .filter(|&v| live[v as usize] && !jmask[v as usize])
         .filter(|&v| !g.neighbors(v).iter().any(|&u| jmask[u as usize]))
+        .count()
+}
+
+/// Per-worker scratch for the derandomized seed search: a reusable
+/// `joined` buffer plus an epoch-stamped domination mask, so one seed
+/// evaluation allocates nothing after warm-up.
+struct LubyScratch {
+    joined: Vec<NodeId>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl LubyScratch {
+    fn new(n: usize) -> Self {
+        LubyScratch {
+            joined: Vec::new(),
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+}
+
+/// `luby_round`, writing into a reusable buffer (sequential: the seed
+/// search parallelizes over seeds, not nodes).
+fn luby_round_into(
+    g: &Graph,
+    live: &[bool],
+    rng: &dyn Randomness,
+    round: u64,
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
+    for v in 0..g.n() as NodeId {
+        if !live[v as usize] {
+            continue;
+        }
+        let pv = rng.word(v, round, 0);
+        let wins = g.neighbors(v).iter().all(|&u| {
+            !live[u as usize] || {
+                let pu = rng.word(u, round, 0);
+                pv > pu || (pv == pu && v < u)
+            }
+        });
+        if wins {
+            out.push(v);
+        }
+    }
+}
+
+/// `undominated` against an epoch-stamped membership mask (no per-call
+/// `Vec<bool>`).
+fn undominated_scratch(g: &Graph, live: &[bool], scratch: &mut LubyScratch) -> usize {
+    scratch.epoch += 1;
+    let epoch = scratch.epoch;
+    for &v in &scratch.joined {
+        scratch.stamp[v as usize] = epoch;
+    }
+    (0..g.n() as NodeId)
+        .filter(|&v| live[v as usize] && scratch.stamp[v as usize] != epoch)
+        .filter(|&v| {
+            !g.neighbors(v)
+                .iter()
+                .any(|&u| scratch.stamp[u as usize] == epoch)
+        })
         .count()
 }
 
@@ -118,12 +182,18 @@ pub fn derandomized_luby_mis(
         rounds += 1;
         assert!(rounds <= max_rounds, "derandomized Luby exceeded budget");
         let live_ro = &live;
-        let cost = |seed: u64| {
-            let tape = PrgTape::new(prg, seed, &chunks);
-            let joined = luby_round(g, live_ro, &tape, rounds);
-            undominated(g, live_ro, &joined) as f64
-        };
-        let sel = select_seed(seed_bits, strategy, cost);
+        let sel = select_seed_with(
+            seed_bits,
+            strategy,
+            || LubyScratch::new(g.n()),
+            |seed, scratch| {
+                let tape = PrgTape::new(prg, seed, &chunks);
+                let mut joined = std::mem::take(&mut scratch.joined);
+                luby_round_into(g, live_ro, &tape, rounds, &mut joined);
+                scratch.joined = joined;
+                undominated_scratch(g, live_ro, scratch) as f64
+            },
+        );
         debug_assert!(sel.satisfies_guarantee());
         checks.push((sel.cost, sel.mean_cost));
         let tape = PrgTape::new(prg, sel.seed, &chunks);

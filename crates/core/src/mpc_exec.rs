@@ -157,15 +157,24 @@ pub fn compute_params_mpc(inst: &D1lcInstance, state: &ColoringState, phi: f64) 
     let partial_counts: Vec<(NodeId, u64)> = cluster.all_reduce(
         &routed,
         |part| {
-            let mut counts: std::collections::HashMap<NodeId, u64> =
-                std::collections::HashMap::new();
-            for &(v, u, w) in part {
-                if u < w && g.has_edge(v, w) && v != w && v != u {
-                    *counts.entry(v).or_insert(0) += 1;
+            // Sort-and-run-length instead of a hash map: collect the
+            // qualifying keys, sort, and collapse runs.  The machine's
+            // record stream arrives grouped by destination already, so the
+            // sort is near-sorted and cheap; the output is sorted by node,
+            // which the merge step relies on.
+            let mut keys: Vec<NodeId> = part
+                .iter()
+                .filter(|&&(v, u, w)| u < w && g.has_edge(v, w) && v != w && v != u)
+                .map(|&(v, _, _)| v)
+                .collect();
+            keys.sort_unstable();
+            let mut out: Vec<(NodeId, u64)> = Vec::new();
+            for v in keys {
+                match out.last_mut() {
+                    Some((last, c)) if *last == v => *c += 1,
+                    _ => out.push((v, 1)),
                 }
             }
-            let mut out: Vec<(NodeId, u64)> = counts.into_iter().collect();
-            out.sort_unstable();
             out
         },
         |mut a, b| {

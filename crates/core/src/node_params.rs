@@ -9,7 +9,6 @@
 use crate::instance::ColoringState;
 use parcolor_local::graph::{Graph, NodeId};
 use rayon::prelude::*;
-use std::collections::HashMap;
 
 /// Definition 2 parameters for one node.
 #[derive(Clone, Copy, Debug, Default)]
@@ -94,16 +93,19 @@ pub fn compute_params(
             } else {
                 0.0
             };
-            // Disparity sums: |Ψ(u) \ Ψ(v)| via sorted-set logic would need
-            // sorted palettes; residual palettes are unsorted (swap-remove),
-            // so use a local hash set of v's palette.
-            let pv: HashMap<u32, ()> = state.palette(v).iter().map(|&c| (c, ())).collect();
+            // Disparity sums: |Ψ(u) \ Ψ(v)|.  Residual palettes are
+            // unsorted (swap-remove), so sort a local copy of v's palette
+            // once and probe with binary search — palettes are small and
+            // this sits inside the sparsity loop, where a hash set's
+            // allocation and hashing overhead dominates.
+            let mut pv: Vec<u32> = state.palette(v).to_vec();
+            pv.sort_unstable();
             let mut discrepancy = 0.0;
             let mut unevenness = 0.0;
             for &u in &nv {
                 let pu = state.palette(u);
                 if !pu.is_empty() {
-                    let outside = pu.iter().filter(|c| !pv.contains_key(c)).count();
+                    let outside = pu.iter().filter(|c| pv.binary_search(c).is_err()).count();
                     discrepancy += outside as f64 / pu.len() as f64;
                 }
                 let du = g

@@ -216,8 +216,7 @@ pub fn low_space_partition(
                 .count();
             d_in as f64 * bins as f64 / d as f64
         })
-        .fold(|| 0.0f64, f64::max)
-        .reduce(|| 0.0f64, f64::max);
+        .fold(0.0f64, f64::max);
 
     let stats = PartitionStats {
         bins,

@@ -58,7 +58,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
 /// Random `d`-regular-ish graph by the pairing model (collisions dropped,
 /// so degrees are `≤ d`, concentrated at `d`).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     let mut rng = SplitMix::new(seed);
     let mut stubs: Vec<NodeId> = (0..n as NodeId).flat_map(|v| vec![v; d]).collect();
     rng.shuffle(&mut stubs);

@@ -71,7 +71,7 @@ impl NodeMpc {
                 self.metrics.observe_machine(w, s);
                 (1usize, w)
             })
-            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
         self.metrics.add_rounds(1);
         self.metrics.add_messages(msgs);
         count
@@ -93,7 +93,7 @@ impl NodeMpc {
                 self.metrics.observe_machine(w, s);
                 (1usize, w)
             })
-            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
         self.metrics.add_rounds(1);
         self.metrics.add_messages(msgs);
         count

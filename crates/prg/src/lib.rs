@@ -29,4 +29,4 @@ pub mod seed_search;
 
 pub use hashing::{KWiseFamily, PairwiseHash};
 pub use prg::{ChunkAssignment, Prg, PrgTape};
-pub use seed_search::{select_seed, SeedSelection, SeedStrategy};
+pub use seed_search::{select_seed, select_seed_with, SeedSelection, SeedStrategy};

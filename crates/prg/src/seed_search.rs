@@ -22,6 +22,27 @@
 //!
 //! `SingleSeed` pins the seed (used to measure "no derandomization" in
 //! ablations).
+//!
+//! ## Fast path: [`select_seed_with`]
+//!
+//! [`select_seed`] evaluates a plain `cost(seed)` closure and (for
+//! `Exhaustive`/`BitwiseCondExp`) materializes the whole `2^d`-entry cost
+//! table — simple, but allocation-heavy and wasteful when each evaluation
+//! itself wants reusable scratch buffers.  [`select_seed_with`] is the
+//! batched replacement used by the framework's hot loop:
+//!
+//! * the caller provides a `make_scratch` factory and an
+//!   `eval(seed, &mut scratch)` closure, so each worker thread owns one
+//!   scratch arena and seed evaluations allocate nothing after warm-up;
+//! * seeds are folded in parallel over contiguous chunks with scoped
+//!   `std::thread`s (seed-level parallelism only — evaluations themselves
+//!   must be sequential), merging `(sum, min, argmin)` in chunk order so
+//!   the result is independent of the worker count;
+//! * `BitwiseCondExp` becomes a true streaming conditional-expectation
+//!   walk: each half-space mean is a fresh parallel reduction, nothing is
+//!   materialized, and the trace/guarantee fields match the exhaustive
+//!   table walk bit-for-bit for integer-valued costs (SSP failure counts —
+//!   verified by `tests/seed_fastpath_equivalence.rs`).
 
 use rayon::prelude::*;
 use serde::Serialize;
@@ -100,6 +121,221 @@ where
             let costs: Vec<f64> = (0..space).into_par_iter().map(&cost).collect();
             bitwise_walk(seed_bits, &costs)
         }
+    }
+}
+
+/// Deterministically choose a seed using per-thread scratch state — the
+/// zero-allocation fast path of the seed search.
+///
+/// `make_scratch` builds one scratch arena per worker thread;
+/// `eval(seed, &mut scratch)` must be a pure function of the seed (the
+/// scratch is an optimization detail, not state: evaluations must not
+/// depend on what a previous seed left in it beyond capacity).  Returns
+/// exactly the same `SeedSelection` as [`select_seed`] for integer-valued
+/// cost functionals, for every strategy.
+///
+/// Parallelism is over **seeds only**: chunks of the seed space are folded
+/// on scoped threads, each owning one scratch.  Evaluations must therefore
+/// be sequential internally — exactly the regime the framework's
+/// `simulate_into` implementations are written for.
+pub fn select_seed_with<S, M, F>(
+    seed_bits: u32,
+    strategy: SeedStrategy,
+    make_scratch: M,
+    eval: F,
+) -> SeedSelection
+where
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(u64, &mut S) -> f64 + Sync,
+{
+    assert!((1..=24).contains(&seed_bits));
+    let space = 1u64 << seed_bits;
+    match strategy {
+        SeedStrategy::SingleSeed(seed) => {
+            assert!(seed < space, "seed {seed} outside 2^{seed_bits} space");
+            let mut scratch = make_scratch();
+            let c = eval(seed, &mut scratch);
+            SeedSelection {
+                seed,
+                cost: c,
+                mean_cost: c,
+                min_cost: c,
+                evaluated: 1,
+                trace: Vec::new(),
+            }
+        }
+        SeedStrategy::FixedSubset(k) => {
+            let k = k.clamp(1, space);
+            let fold = fold_seed_range(0, k, &make_scratch, &eval);
+            SeedSelection {
+                seed: fold.argmin,
+                cost: fold.min,
+                mean_cost: fold.sum / k as f64,
+                min_cost: fold.min,
+                evaluated: k,
+                trace: Vec::new(),
+            }
+        }
+        SeedStrategy::Exhaustive => {
+            let fold = fold_seed_range(0, space, &make_scratch, &eval);
+            SeedSelection {
+                seed: fold.argmin,
+                cost: fold.min,
+                mean_cost: fold.sum / space as f64,
+                min_cost: fold.min,
+                evaluated: space,
+                trace: Vec::new(),
+            }
+        }
+        SeedStrategy::BitwiseCondExp => streaming_bitwise_walk(seed_bits, &make_scratch, &eval),
+    }
+}
+
+/// Partial aggregate of a seed-range fold.
+#[derive(Clone, Copy, Debug)]
+struct RangeFold {
+    sum: f64,
+    min: f64,
+    argmin: u64,
+}
+
+/// Fold `eval` over seeds `start..start + len`, parallel over contiguous
+/// chunks.  Chunk results merge in ascending-seed order, so the outcome
+/// (including tie-breaks toward the lowest seed) is identical for any
+/// worker count; sums are exact whenever costs are integer-valued.
+fn fold_seed_range<S, M, F>(start: u64, len: u64, make_scratch: &M, eval: &F) -> RangeFold
+where
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(u64, &mut S) -> f64 + Sync,
+{
+    let mut pool: Vec<S> = (0..seed_workers(len)).map(|_| make_scratch()).collect();
+    fold_seed_range_in(&mut pool, start, len, eval)
+}
+
+/// Fold `eval` over seeds `start..start + len` with one scratch per worker
+/// taken from `pool` (worker count = `pool.len()`), so callers issuing
+/// many folds (the streaming bitwise walk) construct arenas once and reuse
+/// them across folds instead of re-zeroing O(n) memory per half-space.
+fn fold_seed_range_in<S, F>(pool: &mut [S], start: u64, len: u64, eval: &F) -> RangeFold
+where
+    S: Send,
+    F: Fn(u64, &mut S) -> f64 + Sync,
+{
+    debug_assert!(len > 0 && !pool.is_empty());
+    let workers = pool.len();
+    let serial = |from: u64, count: u64, scratch: &mut S| -> RangeFold {
+        let mut acc = RangeFold {
+            sum: 0.0,
+            min: f64::INFINITY,
+            argmin: from,
+        };
+        for seed in from..from + count {
+            let c = eval(seed, scratch);
+            acc.sum += c;
+            if c < acc.min {
+                acc.min = c;
+                acc.argmin = seed;
+            }
+        }
+        acc
+    };
+    if workers <= 1 {
+        return serial(start, len, &mut pool[0]);
+    }
+    let per = len / workers as u64;
+    let extra = len % workers as u64;
+    let parts: Vec<RangeFold> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut from = start;
+        for (w, scratch) in pool.iter_mut().enumerate() {
+            let count = per + u64::from((w as u64) < extra);
+            let serial = &serial;
+            handles.push(scope.spawn(move || serial(from, count, scratch)));
+            from += count;
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut acc = parts[0];
+    for p in &parts[1..] {
+        acc.sum += p.sum;
+        if p.min < acc.min {
+            acc.min = p.min;
+            acc.argmin = p.argmin;
+        }
+    }
+    acc
+}
+
+/// Worker threads for a fold over `len` seeds.  Tiny ranges stay serial —
+/// thread spawn overhead would dominate — larger ones use the machine.
+/// Overridable via `PARCOLOR_SEED_THREADS` (0 / unset = auto).
+fn seed_workers(len: u64) -> usize {
+    let hw = match std::env::var("PARCOLOR_SEED_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(t) if t > 0 => t,
+        _ => std::thread::available_parallelism().map_or(1, |p| p.get()),
+    };
+    if len < 64 {
+        1
+    } else {
+        hw.min((len / 32) as usize).max(1)
+    }
+}
+
+/// Streaming method of conditional expectations: fix bits MSB-first, each
+/// step computing both half-space means as parallel seed-range folds.  No
+/// cost table is materialized; total evaluations are `2^{d+1} - 2` plus a
+/// final re-evaluation of the chosen seed (the classic streaming/space
+/// trade against the table walk, and the form that maps onto one MPC
+/// converge-cast per bit).  `mean_cost`/`min_cost` come from the first
+/// level, whose two folds jointly cover the entire space.
+fn streaming_bitwise_walk<S, M, F>(seed_bits: u32, make_scratch: &M, eval: &F) -> SeedSelection
+where
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(u64, &mut S) -> f64 + Sync,
+{
+    let space = 1u64 << seed_bits;
+    // One scratch pool for the whole walk, sized for the widest level —
+    // the 2·seed_bits half-space folds reuse these arenas instead of
+    // constructing (and zeroing) fresh ones per fold.
+    let top_block = 1u64 << (seed_bits - 1);
+    let mut pool: Vec<S> = (0..seed_workers(top_block.max(1)))
+        .map(|_| make_scratch())
+        .collect();
+    let mut prefix: u64 = 0;
+    let mut trace = Vec::with_capacity(seed_bits as usize);
+    let mut mean = 0.0;
+    let mut min = f64::INFINITY;
+    for fixed in 0..seed_bits {
+        let bit = seed_bits - 1 - fixed; // position being fixed this step
+        let block = 1u64 << bit; // size of each half under the prefix
+        let w = seed_workers(block).min(pool.len());
+        let f0 = fold_seed_range_in(&mut pool[..w], prefix, block, eval);
+        let f1 = fold_seed_range_in(&mut pool[..w], prefix | block, block, eval);
+        if fixed == 0 {
+            mean = (f0.sum + f1.sum) / space as f64;
+            min = f0.min.min(f1.min);
+        }
+        let mean0 = f0.sum / block as f64;
+        let mean1 = f1.sum / block as f64;
+        trace.push((bit, mean0, mean1));
+        if mean1 < mean0 {
+            prefix |= block;
+        }
+    }
+    let chosen_cost = eval(prefix, &mut pool[0]);
+    SeedSelection {
+        seed: prefix,
+        cost: chosen_cost,
+        mean_cost: mean,
+        min_cost: min,
+        evaluated: space,
+        trace,
     }
 }
 
@@ -232,6 +468,69 @@ mod tests {
         let b = select_seed(7, SeedStrategy::BitwiseCondExp, cost);
         assert_eq!(e.seed, b.seed);
         assert_eq!(b.seed, 0);
+    }
+
+    /// The fast path must agree with the reference path field-for-field on
+    /// integer-valued costs, for every strategy.
+    #[test]
+    fn select_seed_with_matches_reference() {
+        let cost = |s: u64| ((s * 37 + 11) % 19) as f64;
+        for strategy in [
+            SeedStrategy::Exhaustive,
+            SeedStrategy::BitwiseCondExp,
+            SeedStrategy::FixedSubset(23),
+            SeedStrategy::SingleSeed(5),
+        ] {
+            let old = select_seed(8, strategy, cost);
+            let new = select_seed_with(8, strategy, || (), |s, _| cost(s));
+            assert_eq!(old.seed, new.seed, "{strategy:?}");
+            assert_eq!(old.cost, new.cost, "{strategy:?}");
+            assert_eq!(old.mean_cost, new.mean_cost, "{strategy:?}");
+            assert_eq!(old.min_cost, new.min_cost, "{strategy:?}");
+            assert_eq!(old.evaluated, new.evaluated, "{strategy:?}");
+            assert_eq!(old.trace, new.trace, "{strategy:?}");
+        }
+    }
+
+    /// Worker count must not change the outcome (chunk merge is ordered).
+    /// Exercised through the explicit-worker fold rather than the
+    /// `PARCOLOR_SEED_THREADS` env var: tests run multi-threaded in one
+    /// process, so mutating the environment would race other tests.
+    #[test]
+    fn fold_is_worker_count_invariant() {
+        let cost = |s: u64, _: &mut ()| ((s ^ 0x2F) % 13) as f64;
+        let reference = fold_seed_range_in(&mut [()], 0, 1 << 10, &cost);
+        for workers in [2usize, 3, 5, 8] {
+            let mut pool = vec![(); workers];
+            let f = fold_seed_range_in(&mut pool, 0, 1 << 10, &cost);
+            assert_eq!(f.argmin, reference.argmin, "workers = {workers}");
+            assert_eq!(f.sum, reference.sum, "workers = {workers}");
+            assert_eq!(f.min, reference.min, "workers = {workers}");
+        }
+    }
+
+    /// Scratch reuse: the factory is called once per worker, not per seed
+    /// (workers for a 256-seed fold are capped at 256/32 = 8).
+    #[test]
+    fn scratch_is_reused_across_seeds() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let factories = AtomicUsize::new(0);
+        let sel = select_seed_with(
+            8,
+            SeedStrategy::Exhaustive,
+            || {
+                factories.fetch_add(1, Ordering::Relaxed);
+                Vec::<u64>::new()
+            },
+            |s, scratch| {
+                scratch.clear();
+                scratch.push(s);
+                (s % 7) as f64
+            },
+        );
+        assert_eq!(sel.seed, 0);
+        let made = factories.load(Ordering::Relaxed);
+        assert!(made <= 8, "scratch factories: {made} for 256 seeds");
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API used by this workspace's
+//! benches (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `BenchmarkId`, benchmark groups, `Bencher::iter`) with a simple
+//! adaptive timing loop instead of criterion's statistical machinery.
+//!
+//! * Filters: positional args (as passed by `cargo bench -- <filter>`)
+//!   select benchmarks by substring, like real criterion.
+//! * JSON: set `CRITERION_JSON=<path>` to write a summary of all measured
+//!   benchmarks as a JSON array (used by CI to upload an artifact).
+
+use std::time::Instant;
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function/param`).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured (after one warm-up).
+    pub iters: u64,
+}
+
+/// Benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{parameter}"),
+        }
+    }
+}
+
+/// Timing loop handle passed to the closure under test.
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly: one warm-up call, then enough iterations to
+    /// either accumulate ~300 ms or hit a small cap, and record the mean.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let warm = t0.elapsed().as_secs_f64();
+        let target = 0.3f64;
+        let iters = ((target / warm.max(1e-9)) as u64).clamp(2, 200);
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let total = t1.elapsed().as_secs_f64();
+        self.mean_ns = total * 1e9 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    filters: Vec<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional args (not starting with '-') are name filters, the
+        // same contract as `cargo bench -- <substring>`.
+        let filters: Vec<String> = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            filters,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.enabled(&id) {
+            return;
+        }
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        println!(
+            "{id:<48} {:>12.3} ms/iter  ({} iters)",
+            b.mean_ns / 1e6,
+            b.iters
+        );
+        self.results.push(BenchResult {
+            id,
+            mean_ns: b.mean_ns,
+            iters: b.iters,
+        });
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id.to_string(), &mut f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Print the summary and honor `CRITERION_JSON`.  Called by
+    /// `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let mut out = String::from("[\n");
+            for (i, r) in self.results.iter().enumerate() {
+                let sep = if i + 1 == self.results.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{sep}\n",
+                    r.id, r.mean_ns, r.iters
+                ));
+            }
+            out.push_str("]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("criterion shim: cannot write {path}: {e}");
+            } else {
+                println!(
+                    "criterion shim: wrote {} results to {path}",
+                    self.results.len()
+                );
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark one parameterized case.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark an unparameterized case inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(full, &mut f);
+        self
+    }
+
+    /// Close the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}

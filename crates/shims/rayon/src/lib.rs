@@ -1,0 +1,187 @@
+//! Sequential, API-compatible stand-in for the `rayon` crate.
+//!
+//! The build environment for this repository has no network access and no
+//! vendored crates.io sources, so the real rayon cannot be compiled in.
+//! This shim keeps the workspace's `par_iter()` / `into_par_iter()` call
+//! sites compiling unchanged by mapping each parallel combinator onto the
+//! equivalent *sequential* `std::iter` machinery.
+//!
+//! Consequences, deliberately chosen:
+//!
+//! * **Determinism is exact.**  Everything runs in program order, so all
+//!   "parallel" reductions are bit-reproducible — stronger than rayon's
+//!   own guarantee and convenient for the derandomization tests.
+//! * **No speedup from these call sites.**  Genuine multi-threading in
+//!   this workspace is concentrated in the seed-search hot loop
+//!   (`parcolor-prg::seed_search`), which spawns scoped `std::thread`s
+//!   directly rather than going through this shim.
+//!
+//! Only the surface actually used by the workspace is provided; this is
+//! not a general rayon replacement.
+
+/// The traits user code expects from `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSliceMut,
+    };
+}
+
+/// Extension methods that exist on rayon's `ParallelIterator` but not on
+/// `std::iter::Iterator`.  Blanket-implemented for every iterator so that
+/// chains built from `par_iter()`/`into_par_iter()` keep compiling.
+pub trait ParallelIterator: Iterator + Sized {
+    /// First item matching `predicate` in iteration order (rayon: first in
+    /// the original order, which sequential execution gives for free).
+    fn find_first<P: FnMut(&Self::Item) -> bool>(mut self, predicate: P) -> Option<Self::Item> {
+        self.find(predicate)
+    }
+
+    /// rayon's serial-flattening `flat_map`; identical to `flat_map` here.
+    fn flat_map_iter<U: IntoIterator, F: FnMut(Self::Item) -> U>(
+        self,
+        f: F,
+    ) -> std::iter::FlatMap<Self, U, F> {
+        self.flat_map(f)
+    }
+
+    /// Map with a per-"thread" state initialized by `init` (one state total
+    /// in this sequential shim — exactly rayon's semantics collapsed to a
+    /// single worker).
+    fn map_init<INIT, T, R, F>(self, init: INIT, f: F) -> MapInit<Self, T, F>
+    where
+        INIT: FnOnce() -> T,
+        F: FnMut(&mut T, Self::Item) -> R,
+    {
+        MapInit {
+            iter: self,
+            state: init(),
+            f,
+        }
+    }
+
+    /// Splitting hint; meaningless without work stealing.
+    fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIterator for I {}
+
+/// Iterator adapter backing [`ParallelIterator::map_init`].
+pub struct MapInit<I, T, F> {
+    iter: I,
+    state: T,
+    f: F,
+}
+
+impl<I: Iterator, T, R, F: FnMut(&mut T, I::Item) -> R> Iterator for MapInit<I, T, F> {
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        let item = self.iter.next()?;
+        Some((self.f)(&mut self.state, item))
+    }
+}
+
+/// `into_par_iter()` for any owned collection / range.
+pub trait IntoParallelIterator {
+    /// The underlying sequential iterator type.
+    type Iter: Iterator;
+    /// Convert into a ("parallel") iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter()` on slices (and everything that derefs to a slice).
+pub trait IntoParallelRefIterator {
+    /// Element type.
+    type Item;
+    /// Borrowing ("parallel") iterator over the elements.
+    fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
+}
+
+impl<T> IntoParallelRefIterator for [T] {
+    type Item = T;
+
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// `par_iter_mut()` on slices.
+pub trait IntoParallelRefMutIterator {
+    /// Element type.
+    type Item;
+    /// Mutably borrowing ("parallel") iterator over the elements.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, Self::Item>;
+}
+
+impl<T> IntoParallelRefMutIterator for [T] {
+    type Item = T;
+
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+/// Parallel slice sorts.
+pub trait ParallelSliceMut<T> {
+    /// Unstable sort (sequential `sort_unstable` here).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable()
+    }
+}
+
+/// Number of worker threads rayon would use.  The shim executes
+/// sequentially, so this is 1 by definition.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn combinators_compile_and_agree_with_std() {
+        let v: Vec<u32> = (0..10u32).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10u32).map(|x| x * 2).collect::<Vec<_>>());
+        let s: u32 = v.par_iter().copied().sum();
+        assert_eq!(s, 90);
+        let mut w = vec![3u32, 1, 2];
+        w.par_sort_unstable();
+        assert_eq!(w, vec![1, 2, 3]);
+        let found = (0..100u64).into_par_iter().find_first(|&x| x > 41);
+        assert_eq!(found, Some(42));
+    }
+
+    #[test]
+    fn map_init_reuses_state() {
+        let out: Vec<usize> = (0..5u32)
+            .into_par_iter()
+            .map_init(Vec::<u32>::new, |buf, x| {
+                buf.push(x);
+                buf.len()
+            })
+            .collect();
+        // One shared state in the sequential shim: lengths grow.
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+}

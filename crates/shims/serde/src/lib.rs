@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize)]` as a marker (no actual
+//! serialization framework is exercised — JSON emission is hand-rolled in
+//! the bench crate), so this shim provides a method-less `Serialize`
+//! marker trait plus a derive macro that emits an empty impl.  If real
+//! serialization is ever needed, swap this for the real crate.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+pub use serde_derive::Serialize;
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl Serialize for String {}
+impl Serialize for str {}
+impl Serialize for bool {}
+impl Serialize for f32 {}
+impl Serialize for f64 {}
+impl Serialize for u8 {}
+impl Serialize for u16 {}
+impl Serialize for u32 {}
+impl Serialize for u64 {}
+impl Serialize for usize {}
+impl Serialize for i8 {}
+impl Serialize for i16 {}
+impl Serialize for i32 {}
+impl Serialize for i64 {}
+impl Serialize for isize {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}

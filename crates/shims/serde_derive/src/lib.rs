@@ -1,0 +1,39 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `#[derive(Serialize)]` here emits an *empty* `impl serde::Serialize`
+//! for the type (the shim `serde::Serialize` is a marker trait with no
+//! methods).  Written against `proc_macro` directly — no `syn`/`quote`
+//! available offline — so it supports exactly the shapes used in this
+//! workspace: non-generic structs and enums.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derive an empty `serde::Serialize` marker impl for a plain (non-generic)
+/// struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut iter = input.into_iter();
+    let mut name: Option<String> = None;
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let word = id.to_string();
+            if word == "struct" || word == "enum" {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("derive(Serialize): expected type name, got {other:?}"),
+                }
+                if let Some(TokenTree::Punct(p)) = iter.next() {
+                    assert!(
+                        p.as_char() != '<',
+                        "derive(Serialize) shim does not support generic types"
+                    );
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive(Serialize): no struct/enum found");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("derive(Serialize): generated impl must parse")
+}

@@ -1,0 +1,208 @@
+//! Equivalence of the zero-allocation seed-search fast path with the
+//! reference (allocation-heavy) path.
+//!
+//! For every [`SeedStrategy`] and every HKNT procedure, the pair
+//! (`select_seed_with` + `simulate_into` + `seed_cost_scratch`) must
+//! reproduce the pair (`select_seed` + `simulate` + `seed_cost`)
+//! **bit-identically**: same chosen seed, same cost / mean / min, same
+//! per-bit conditional-expectation trace, and the same outcome (adoptions
+//! in the same order, same aux set) under the chosen seed.  Costs here are
+//! SSP failure counts — integers in `f64` — so even the streamed sums of
+//! the bitwise walk are exact.
+
+use parcolor_core::framework::{NormalProcedure, SimScratch};
+use parcolor_core::hknt::procs::{
+    CliquePutAside, CliqueTrial, GenerateSlack, MultiTrial, PutAside, SspMode, StageSet,
+    SynchColorTrial, TryRandomColor,
+};
+use parcolor_core::instance::{ColoringState, D1lcInstance};
+use parcolor_core::{Graph, NodeId};
+use parcolor_graphgen::gnm;
+use parcolor_prg::{
+    select_seed, select_seed_with, ChunkAssignment, Prg, PrgTape, SeedSelection, SeedStrategy,
+};
+
+const SEED_BITS: u32 = 6;
+
+fn all_strategies() -> [SeedStrategy; 4] {
+    [
+        SeedStrategy::Exhaustive,
+        SeedStrategy::BitwiseCondExp,
+        SeedStrategy::FixedSubset(11),
+        SeedStrategy::SingleSeed(3),
+    ]
+}
+
+fn assert_selection_eq(old: &SeedSelection, new: &SeedSelection, ctx: &str) {
+    assert_eq!(old.seed, new.seed, "{ctx}: chosen seed");
+    assert_eq!(old.cost, new.cost, "{ctx}: cost");
+    assert_eq!(old.mean_cost, new.mean_cost, "{ctx}: mean_cost");
+    assert_eq!(old.min_cost, new.min_cost, "{ctx}: min_cost");
+    assert_eq!(old.evaluated, new.evaluated, "{ctx}: evaluated");
+    assert_eq!(old.trace, new.trace, "{ctx}: trace");
+}
+
+/// Run both paths over the full strategy set and demand bit-identity.
+fn check_equivalence(proc: &dyn NormalProcedure, state: &ColoringState, ctx: &str) {
+    let prg = Prg::new(SEED_BITS);
+    let chunks = ChunkAssignment::PerNode;
+    for strategy in all_strategies() {
+        let old = select_seed(SEED_BITS, strategy, |seed| {
+            let tape = PrgTape::new(prg, seed, &chunks);
+            let out = proc.simulate(state, &tape);
+            proc.seed_cost(state, &out)
+        });
+        let new = select_seed_with(
+            SEED_BITS,
+            strategy,
+            || SimScratch::new(state.n()),
+            |seed, scratch| {
+                let tape = PrgTape::new(prg, seed, &chunks);
+                proc.simulate_into(state, &tape, scratch);
+                proc.seed_cost_scratch(state, scratch)
+            },
+        );
+        assert_selection_eq(&old, &new, &format!("{ctx} / {strategy:?}"));
+        assert!(new.satisfies_guarantee(), "{ctx} / {strategy:?}: guarantee");
+
+        // The fused evaluation (what Runner::run_step actually calls per
+        // candidate seed) must agree as well.
+        let fused = select_seed_with(
+            SEED_BITS,
+            strategy,
+            || SimScratch::new(state.n()),
+            |seed, scratch| {
+                let tape = PrgTape::new(prg, seed, &chunks);
+                proc.seed_cost_fused(state, &tape, scratch)
+            },
+        );
+        assert_selection_eq(&old, &fused, &format!("{ctx} / {strategy:?} (fused)"));
+
+        // Outcome equivalence under the chosen seed.
+        let tape = PrgTape::new(prg, old.seed, &chunks);
+        let reference = proc.simulate(state, &tape);
+        let mut scratch = SimScratch::new(state.n());
+        proc.simulate_into(state, &tape, &mut scratch);
+        assert_eq!(
+            reference.adoptions, scratch.adoptions,
+            "{ctx} / {strategy:?}: adoptions"
+        );
+        assert_eq!(reference.aux, scratch.aux, "{ctx} / {strategy:?}: aux");
+    }
+}
+
+/// A partially colored random state so residual palettes are non-trivial.
+fn partially_colored(n: usize, m: usize, seed: u64) -> (D1lcInstance, ColoringState) {
+    let g = gnm(n, m, seed);
+    let inst = D1lcInstance::delta_plus_one(g.clone());
+    let mut state = ColoringState::new(&inst);
+    // Deterministically color a scattered independent-ish subset.
+    let mut batch: Vec<(NodeId, u32)> = Vec::new();
+    let mut blocked = vec![false; n];
+    for v in (0..n as NodeId).step_by(7) {
+        if blocked[v as usize] {
+            continue;
+        }
+        let c = state.palette(v)[0];
+        if batch.iter().any(|&(u, cu)| cu == c && g.has_edge(u, v)) {
+            continue;
+        }
+        batch.push((v, c));
+        for &u in g.neighbors(v) {
+            blocked[u as usize] = true;
+        }
+    }
+    state.apply_adoptions(&g, &batch);
+    (inst, state)
+}
+
+fn active_uncolored(state: &ColoringState) -> StageSet {
+    StageSet::new(state.n(), state.uncolored_nodes())
+}
+
+#[test]
+fn try_random_color_matches_reference_path() {
+    for seed in [1u64, 2] {
+        let (inst, state) = partially_colored(200, 600, seed);
+        for ssp in [SspMode::Colored, SspMode::Auto, SspMode::SlackRatio(0.4)] {
+            let proc = TryRandomColor::new(&inst.graph, active_uncolored(&state), ssp.clone(), 2);
+            check_equivalence(&proc, &state, &format!("TryRandomColor g{seed} {ssp:?}"));
+        }
+    }
+}
+
+#[test]
+fn multi_trial_matches_reference_path() {
+    for (seed, x) in [(3u64, 2usize), (4, 5)] {
+        let (inst, state) = partially_colored(150, 450, seed);
+        let proc = MultiTrial::new(
+            &inst.graph,
+            active_uncolored(&state),
+            x,
+            SspMode::Colored,
+            1,
+        );
+        check_equivalence(&proc, &state, &format!("MultiTrial g{seed} x{x}"));
+    }
+}
+
+#[test]
+fn generate_slack_matches_reference_path() {
+    let (inst, state) = partially_colored(180, 540, 5);
+    let set = active_uncolored(&state);
+    // Mixed targets: a third auto-succeed, the rest must gain slack.
+    let targets: Vec<f64> = set
+        .active
+        .iter()
+        .enumerate()
+        .map(|(i, _)| if i % 3 == 0 { 0.0 } else { 1.0 })
+        .collect();
+    let proc = GenerateSlack::new(&inst.graph, set, 0.2, targets, 3);
+    check_equivalence(&proc, &state, "GenerateSlack");
+}
+
+fn clique_graph(k: usize) -> Graph {
+    let mut edges = Vec::new();
+    for a in 0..k as NodeId {
+        for b in (a + 1)..k as NodeId {
+            edges.push((a, b));
+        }
+    }
+    Graph::from_edges(k, &edges)
+}
+
+#[test]
+fn synch_color_trial_matches_reference_path() {
+    let g = clique_graph(14);
+    let inst = D1lcInstance::delta_plus_one(g.clone());
+    let state = ColoringState::new(&inst);
+    let inliers: Vec<NodeId> = (1..14).collect();
+    let proc = SynchColorTrial {
+        g: &g,
+        set: StageSet::new(14, inliers.clone()),
+        cliques: vec![CliqueTrial { leader: 0, inliers }],
+        tolerance: 2,
+        round_tag: 1,
+    };
+    check_equivalence(&proc, &state, "SynchColorTrial");
+}
+
+#[test]
+fn put_aside_matches_reference_path() {
+    let g = clique_graph(16);
+    let inst = D1lcInstance::delta_plus_one(g.clone());
+    let state = ColoringState::new(&inst);
+    let inliers: Vec<NodeId> = (0..16).collect();
+    let proc = PutAside {
+        g: &g,
+        set: StageSet::new(16, inliers.clone()),
+        cliques: vec![CliquePutAside {
+            clique_id: 0,
+            inliers,
+            prob: 0.2,
+            target: 1,
+        }],
+        round_tag: 2,
+    };
+    check_equivalence(&proc, &state, "PutAside");
+}
