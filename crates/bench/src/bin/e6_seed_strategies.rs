@@ -6,8 +6,14 @@
 //! The second half benchmarks the **seed-search fast path** (scratch-buffer
 //! simulation + per-seed pick caching + seed-parallel fold) against the
 //! reference allocation-heavy path at `seed_bits = 16`, and writes the
-//! before/after numbers to `BENCH_seed_search.json` so the trajectory is
-//! tracked across PRs.
+//! before/after numbers to `BENCH_seed_search.json`; the third half
+//! benchmarks the **batched randomness plane** (lane-mixed tape stripes +
+//! `KWiseHash::eval_batch`) against the scalar tape walk and writes
+//! `BENCH_hash_batch.json`.
+//!
+//! `PARCOLOR_TAPE_MODE=scalar|batched` (default `batched`) selects the
+//! tape driving the strategy table, so CI exercises both modes; the
+//! batched-vs-scalar comparison section always runs both legs.
 
 use parcolor_bench::{f1, f2, s, scaled, timed, Table};
 use parcolor_core::framework::{NormalProcedure, SimScratch};
@@ -15,10 +21,24 @@ use parcolor_core::hknt::procs::{SspMode, StageSet, TryRandomColor};
 use parcolor_core::instance::ColoringState;
 use parcolor_core::{D1lcInstance, NodeId};
 use parcolor_graphgen::gnm;
-use parcolor_prg::{select_seed, select_seed_with, ChunkAssignment, Prg, PrgTape, SeedStrategy};
+use parcolor_local::tape::{ForceScalar, Randomness};
+use parcolor_prg::hashing::KWiseFamily;
+use parcolor_prg::{
+    select_seed, select_seed_blocks, select_seed_with, ChunkAssignment, Prg, PrgTape, SeedStrategy,
+    SEED_BLOCK,
+};
+
+/// The `PARCOLOR_TAPE_MODE` setting: batch plane on or forced scalar.
+fn tape_mode() -> &'static str {
+    match std::env::var("PARCOLOR_TAPE_MODE").as_deref() {
+        Ok("scalar") => "scalar",
+        _ => "batched",
+    }
+}
 
 fn main() {
-    println!("# E6: seed-selection strategies (one TryRandomColor step)\n");
+    let mode = tape_mode();
+    println!("# E6: seed-selection strategies (one TryRandomColor step, {mode} tape)\n");
     let n = scaled(4_000, 800);
     let g = gnm(n, n * 4, 5);
     let inst = D1lcInstance::delta_plus_one(g.clone());
@@ -29,11 +49,6 @@ fn main() {
     let seed_bits = 10;
     let prg = Prg::new(seed_bits);
     let chunks = ChunkAssignment::PerNode;
-    let cost = |seed: u64| {
-        let tape = PrgTape::new(prg, seed, &chunks);
-        let out = proc.simulate(&state, &tape);
-        proc.ssp_failures(&state, &out).len() as f64
-    };
 
     let mut t = Table::new(&[
         "strategy",
@@ -51,7 +66,21 @@ fn main() {
         ("FixedSubset(8)", SeedStrategy::FixedSubset(8)),
         ("SingleSeed(0)", SeedStrategy::SingleSeed(0)),
     ] {
-        let (sel, ms) = timed(|| select_seed(seed_bits, strat, cost));
+        let (sel, ms) = timed(|| {
+            select_seed_with(
+                seed_bits,
+                strat,
+                || SimScratch::new(n),
+                |seed, scratch| {
+                    let tape = PrgTape::new(prg, seed, &chunks);
+                    if mode == "scalar" {
+                        proc.seed_cost_fused(&state, &ForceScalar(tape), scratch)
+                    } else {
+                        proc.seed_cost_fused(&state, &tape, scratch)
+                    }
+                },
+            )
+        });
         t.row(&[
             s(name),
             s(sel.evaluated),
@@ -70,7 +99,14 @@ fn main() {
     println!("\nBitwiseCondExp must land at or below the mean (Lemma 10); Exhaustive");
     println!("gives the floor; FixedSubset trades a little quality for throughput.");
 
-    fastpath_comparison();
+    // The comparison sections time both tape modes internally (that's
+    // their point), so a scalar-mode run — CI's smoke leg — skips them
+    // rather than duplicating the expensive seed_bits = 16 searches; the
+    // batched-mode (default) run writes both BENCH_*.json artifacts.
+    if mode != "scalar" {
+        fastpath_comparison();
+        hash_batch_comparison();
+    }
 }
 
 /// Reference vs fast path at `seed_bits = 16` — the derandomizer's hot
@@ -154,5 +190,147 @@ fn fastpath_comparison() {
     match std::fs::write("BENCH_seed_search.json", &json) {
         Ok(()) => println!("\nwrote BENCH_seed_search.json"),
         Err(e) => eprintln!("\ncannot write BENCH_seed_search.json: {e}"),
+    }
+}
+
+/// Batched randomness plane vs the scalar tape walk — `eval_batch`
+/// throughput and the end-to-end seed search at `seed_bits = 16` on a
+/// single worker.  Both legs run the *same* plane-based `simulate_into`;
+/// the scalar leg forces the tape's scalar trait defaults (the PR 1
+/// regime: one mixer call per node per seed), so the measured gap is the
+/// tape-level batching alone.  Emits `BENCH_hash_batch.json`.
+fn hash_batch_comparison() {
+    // Pin the fold to one worker so per-seed evaluation cost is what's
+    // measured (and recorded) — not thread scaling.
+    let prev_threads = std::env::var("PARCOLOR_SEED_THREADS").ok();
+    std::env::set_var("PARCOLOR_SEED_THREADS", "1");
+
+    println!("\n# Batched randomness plane vs scalar tape (1 worker)");
+
+    // -- KWiseHash::eval_batch throughput ------------------------------
+    let nkeys = scaled(400_000, 40_000);
+    let keys: Vec<u64> = (0..nkeys as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let mut out = vec![0u64; keys.len()];
+    let mut t = Table::new(&["hash k", "scalar Mkeys/s", "batched Mkeys/s", "speedup"]);
+    let mut hash_rows = Vec::new();
+    for k in [2u32, 8] {
+        let h = KWiseFamily::new(k, 1 << 20).member(0xE6);
+        let (acc, scalar_ms) = timed(|| {
+            let mut acc = 0u64;
+            for &x in &keys {
+                acc ^= h.eval(x);
+            }
+            acc
+        });
+        let (_, batch_ms) = timed(|| h.eval_batch(&keys, &mut out));
+        // Keep both legs observable (and cross-check them while at it).
+        for (i, &x) in keys.iter().take(16).enumerate() {
+            assert_eq!(out[i], h.eval(x));
+        }
+        std::hint::black_box(acc);
+        std::hint::black_box(&out);
+        let scalar_rate = nkeys as f64 / scalar_ms / 1e3; // M keys/s
+        let batch_rate = nkeys as f64 / batch_ms / 1e3;
+        t.row(&[
+            s(k),
+            f2(scalar_rate),
+            f2(batch_rate),
+            f2(batch_rate / scalar_rate),
+        ]);
+        hash_rows.push(format!(
+            "    {{\"k\": {k}, \"keys\": {nkeys}, \"scalar_keys_per_sec\": {:.0}, \
+             \"batched_keys_per_sec\": {:.0}, \"speedup\": {:.2}}}",
+            scalar_rate * 1e6,
+            batch_rate * 1e6,
+            batch_rate / scalar_rate
+        ));
+    }
+    t.print();
+
+    // -- end-to-end seed search at seed_bits = 16 ----------------------
+    let seed_bits = 16u32;
+    let n = scaled(2_000, 256);
+    let g = gnm(n, n * 4, 7);
+    let inst = D1lcInstance::delta_plus_one(g.clone());
+    let state = ColoringState::new(&inst);
+    let set = StageSet::new(n, (0..n as NodeId).collect());
+    let proc = TryRandomColor::new(&g, set, SspMode::Colored, 1);
+    let prg = Prg::new(seed_bits);
+    let chunks = ChunkAssignment::PerNode;
+
+    println!(
+        "\n# Seed search, scalar tape vs batched plane (seed_bits = {seed_bits}, n = {n}, \
+         m = {}, 1 worker)",
+        g.m()
+    );
+    let mut t = Table::new(&[
+        "strategy",
+        "scalar ms",
+        "batched ms",
+        "speedup",
+        "same seed",
+    ]);
+    let mut search_rows = Vec::new();
+    for (name, strategy) in [
+        ("Exhaustive", SeedStrategy::Exhaustive),
+        ("BitwiseCondExp", SeedStrategy::BitwiseCondExp),
+    ] {
+        let (scalar_sel, scalar_ms) = timed(|| {
+            select_seed_with(
+                seed_bits,
+                strategy,
+                || SimScratch::new(n),
+                |seed, scratch| {
+                    let tape = ForceScalar(PrgTape::new(prg, seed, &chunks));
+                    proc.seed_cost_fused(&state, &tape, scratch)
+                },
+            )
+        });
+        let (batched_sel, batched_ms) = timed(|| {
+            select_seed_blocks(
+                seed_bits,
+                strategy,
+                || SimScratch::new(n),
+                |seed0, costs, scratch| {
+                    let tapes = prg.block_tapes(seed0, &chunks);
+                    let refs: [&dyn Randomness; SEED_BLOCK] =
+                        std::array::from_fn(|i| &tapes[i] as &dyn Randomness);
+                    proc.seed_cost_block(&state, &refs[..costs.len()], scratch, costs);
+                },
+            )
+        });
+        let same = scalar_sel.seed == batched_sel.seed && scalar_sel.cost == batched_sel.cost;
+        assert!(same, "{name}: batched plane diverged from scalar tape");
+        // Both legs evaluate the same number of seeds, so wall-clock
+        // speedup IS per-seed-eval speedup here.
+        let speedup = scalar_ms / batched_ms.max(1e-9);
+        t.row(&[s(name), f1(scalar_ms), f1(batched_ms), f2(speedup), s(same)]);
+        search_rows.push(format!(
+            "    {{\"strategy\": \"{name}\", \"scalar_ms\": {scalar_ms:.1}, \
+             \"batched_ms\": {batched_ms:.1}, \"per_eval_speedup\": {speedup:.2}, \
+             \"chosen_seed\": {}, \"chosen_cost\": {}}}",
+            batched_sel.seed, batched_sel.cost
+        ));
+    }
+    t.print();
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e6_hash_batch\",\n  \"seed_bits\": {seed_bits},\n  \
+         \"n\": {n},\n  \"m\": {},\n  \"workers\": 1,\n  \"eval_batch\": [\n{}\n  ],\n  \
+         \"seed_search\": [\n{}\n  ]\n}}\n",
+        g.m(),
+        hash_rows.join(",\n"),
+        search_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_hash_batch.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_hash_batch.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_hash_batch.json: {e}"),
+    }
+
+    match prev_threads {
+        Some(v) => std::env::set_var("PARCOLOR_SEED_THREADS", v),
+        None => std::env::remove_var("PARCOLOR_SEED_THREADS"),
     }
 }

@@ -29,15 +29,29 @@ pub struct LineGraph {
 /// Definition 2 sparsity computation.
 pub fn line_graph(g: &Graph) -> LineGraph {
     let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
-    // Index of each edge, looked up from either endpoint: for node v, the
-    // ids of its incident edges.
-    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); g.n()];
+    // Incident-edge ids per node in one flat offset-indexed arena (the
+    // CSR idiom): node v's incident edges are
+    // `incident[off[v]..off[v + 1]]`, and |that slice| = d(v), so the
+    // offsets are the graph's own degree prefix sum.
+    let n = g.n();
+    let mut off = Vec::with_capacity(n + 1);
+    off.push(0usize);
+    let mut total = 0usize;
+    for v in 0..n as NodeId {
+        total += g.degree(v);
+        off.push(total);
+    }
+    let mut incident = vec![0u32; total];
+    let mut cursor = off.clone();
     for (i, &(u, v)) in edges.iter().enumerate() {
-        incident[u as usize].push(i as u32);
-        incident[v as usize].push(i as u32);
+        incident[cursor[u as usize]] = i as u32;
+        cursor[u as usize] += 1;
+        incident[cursor[v as usize]] = i as u32;
+        cursor[v as usize] += 1;
     }
     let mut le: Vec<(u32, u32)> = Vec::new();
-    for inc in &incident {
+    for v in 0..n {
+        let inc = &incident[off[v]..off[v + 1]];
         for a in 0..inc.len() {
             for b in (a + 1)..inc.len() {
                 le.push((inc[a].min(inc[b]), inc[a].max(inc[b])));
@@ -108,15 +122,40 @@ pub fn verify_edge_coloring(g: &Graph, ec: &EdgeColoring) -> Result<(), String> 
     if ec.edges.len() != g.m() {
         return Err("edge count mismatch".into());
     }
-    // Incidence check via per-node color sets.
-    let mut seen: Vec<Vec<u32>> = vec![Vec::new(); g.n()];
+    // Incidence check via per-node color sets, stored in one flat
+    // offset-indexed arena (each node sees exactly d(v) incident-edge
+    // colors, so the offsets are the degree prefix sum; `fill[v]` tracks
+    // the populated prefix of node v's slice).
+    let n = g.n();
+    let mut off = Vec::with_capacity(n + 1);
+    off.push(0usize);
+    let mut total = 0usize;
+    for v in 0..n as NodeId {
+        total += g.degree(v);
+        off.push(total);
+    }
+    let mut seen = vec![0u32; total];
+    let mut fill = vec![0usize; n];
     for (&(u, v), &c) in ec.edges.iter().zip(ec.colors.iter()) {
         for end in [u, v] {
-            let list = &mut seen[end as usize];
-            if list.contains(&c) {
+            let e = end as usize;
+            if e >= n {
+                return Err(format!("edge endpoint {end} outside graph"));
+            }
+            // A malformed edge list can claim more incident edges than the
+            // node's degree — reject instead of overflowing its slice.
+            if fill[e] >= off[e + 1] - off[e] {
+                return Err(format!(
+                    "node {end}: more incident edges than degree {}",
+                    g.degree(end)
+                ));
+            }
+            let slice = &seen[off[e]..off[e] + fill[e]];
+            if slice.contains(&c) {
                 return Err(format!("node {end}: two incident edges colored {c}"));
             }
-            list.push(c);
+            seen[off[e] + fill[e]] = c;
+            fill[e] += 1;
         }
     }
     let delta = g.max_degree();
@@ -214,6 +253,19 @@ mod tests {
         let ec = EdgeColoring {
             edges: vec![(0, 1), (1, 2)],
             colors: vec![0, 0], // share node 1
+            solution: Solver::deterministic(Params::default()).solve(&edge_coloring_instance(&g).0),
+        };
+        assert!(verify_edge_coloring(&g, &ec).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_overfull_incidence_without_panicking() {
+        // Edge count matches m but node 3 claims two incident edges while
+        // its degree is 1 — must be a clean Err, not a slice overflow.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let ec = EdgeColoring {
+            edges: vec![(2, 3), (2, 3)],
+            colors: vec![0, 1],
             solution: Solver::deterministic(Params::default()).solve(&edge_coloring_instance(&g).0),
         };
         assert!(verify_edge_coloring(&g, &ec).is_err());

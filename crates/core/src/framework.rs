@@ -39,6 +39,15 @@
 //!    per-seed simulation is sequential.  One level of parallelism, no
 //!    oversubscription, and the fold merges in chunk order so results are
 //!    bit-identical for any worker count.
+//! 4. **Batched randomness plane** ([`PickPlane`]).  A procedure's random
+//!    draws are materialized for a whole stripe of active nodes in one
+//!    `Randomness::fill_*` call per stream — the tape's seed/stream mixer
+//!    rounds are hoisted once per stripe and the per-node rounds run in
+//!    autovectorizable lanes — instead of one scalar `word` per node.
+//!    The plane is bit-identical to the scalar tape walk (same mixer
+//!    outputs, same picks, same chosen seeds; see the batch contract in
+//!    `parcolor_local::tape`), so the reference `simulate` path and the
+//!    golden hashes are unchanged.
 //!
 //! Per derandomized step the fast path therefore costs
 //! `O(2^seed_bits · (n_active + m_active) / workers)` with no allocation,
@@ -56,7 +65,9 @@ use parcolor_local::graph::{Graph, NodeId};
 use parcolor_local::power::power_graph;
 use parcolor_local::tape::{CryptoTape, Randomness};
 use parcolor_mpc::{MpcConfig, NodeMpc};
-use parcolor_prg::{select_seed_with, ChunkAssignment, Prg, PrgTape, SeedSelection, SeedStrategy};
+use parcolor_prg::{
+    select_seed_blocks, ChunkAssignment, Prg, PrgTape, SeedSelection, SeedStrategy, SEED_BLOCK,
+};
 use serde::Serialize;
 
 /// Output of simulating one normal procedure (the `Out_v` of Definition 5,
@@ -67,6 +78,86 @@ pub struct Outcome {
     pub adoptions: Vec<(NodeId, u32)>,
     /// Procedure-specific extra output (e.g. PutAside's sampled set).
     pub aux: Vec<NodeId>,
+}
+
+/// Batched randomness plane of one seed evaluation — staging buffers that
+/// `simulate_into` implementations fill with one `Randomness::fill_*`
+/// call per (stream, stripe) instead of one scalar tape read per node.
+///
+/// All buffers are stripe-scoped: each `draw_*` call overwrites them for
+/// its own stripe, so nothing needs clearing between seed evaluations and
+/// capacity is retained across the whole seed search.  Every draw is
+/// bit-identical to the scalar calls it replaces (the tape-level batch
+/// contract), which is what keeps the fast path pinned to the reference
+/// path.
+#[derive(Clone, Debug, Default)]
+pub struct PickPlane {
+    /// Node stripe scratch (gathered subsets, e.g. sampled nodes).
+    pub nodes: Vec<NodeId>,
+    /// Per-node draw bounds gathered for the current stripe.
+    pub bounds: Vec<u64>,
+    /// Raw words or bounded draws, aligned with the stripe.
+    pub vals: Vec<u64>,
+    /// Bernoulli outcomes, aligned with the stripe.
+    pub bits: Vec<bool>,
+    /// Seed-lane plane: picks of up to [`SEED_BLOCK`] seeds per node,
+    /// dense by node id, one `u32` lane per seed — the
+    /// structure-of-arrays layout block cost evaluators scan with
+    /// lane-parallel compares.
+    pub soa: Vec<[u32; SEED_BLOCK]>,
+    /// Per-node seed-lane bit accumulator (bit `s` ⇔ event in lane `s`),
+    /// dense by node id — clash scans OR into it branchlessly and count
+    /// bits per lane afterwards.
+    pub lane_mask: Vec<u8>,
+}
+
+impl PickPlane {
+    /// Bounded draws for `nodes` — `vals[i] = below(nodes[i], stream, idx,
+    /// bound_of(nodes[i]))` — in one batched tape pass.
+    pub fn draw_below(
+        &mut self,
+        rng: &dyn Randomness,
+        stream: u64,
+        idx: u32,
+        nodes: &[NodeId],
+        mut bound_of: impl FnMut(NodeId) -> u64,
+    ) -> &[u64] {
+        self.bounds.clear();
+        self.bounds.extend(nodes.iter().map(|&v| bound_of(v)));
+        self.vals.resize(nodes.len(), 0);
+        rng.fill_below(stream, nodes, idx, &self.bounds, &mut self.vals);
+        &self.vals
+    }
+
+    /// Bernoulli trials for `nodes` — `bits[i] = bernoulli(nodes[i],
+    /// stream, idx, p)` — in one batched tape pass.
+    pub fn draw_bernoulli(
+        &mut self,
+        rng: &dyn Randomness,
+        stream: u64,
+        idx: u32,
+        nodes: &[NodeId],
+        p: f64,
+    ) -> &[bool] {
+        self.bits.resize(nodes.len(), false);
+        rng.fill_bernoulli(stream, nodes, idx, p, &mut self.bits);
+        &self.bits
+    }
+
+    /// `len` consecutive words of one node's tape starting at `idx0` —
+    /// the idx-stripe shape used by permutation deals and multi-draws.
+    pub fn draw_words_seq(
+        &mut self,
+        rng: &dyn Randomness,
+        node: NodeId,
+        stream: u64,
+        idx0: u32,
+        len: usize,
+    ) -> &[u64] {
+        self.vals.resize(len, 0);
+        rng.fill_words_seq(node, stream, idx0, &mut self.vals);
+        &self.vals
+    }
 }
 
 /// Reusable per-worker arena for seed evaluations — the zero-allocation
@@ -106,6 +197,8 @@ pub struct SimScratch {
     pub taken: Vec<u32>,
     /// Permutation buffer (SynchColorTrial leader deals).
     pub perm: Vec<u32>,
+    /// Batched randomness plane (stripe-scoped, no per-seed clearing).
+    pub plane: PickPlane,
 }
 
 impl SimScratch {
@@ -129,6 +222,7 @@ impl SimScratch {
             draw_off: Vec::new(),
             taken: Vec::new(),
             perm: Vec::new(),
+            plane: PickPlane::default(),
         }
     }
 
@@ -349,6 +443,26 @@ pub trait NormalProcedure: Sync {
         self.seed_cost_scratch(state, scratch)
     }
 
+    /// Fused cost evaluation for a **block** of candidate seeds, one tape
+    /// per seed (at most `parcolor_prg::SEED_BLOCK`): must write
+    /// `costs[i] = seed_cost_fused(state, tapes[i], scratch)` for every
+    /// lane.  The default is exactly that loop; hot procedures override
+    /// it to materialize the whole block's picks into the seed-lane plane
+    /// (`PickPlane::soa`) and amortize their clash scan across lanes.
+    /// Block grouping must never change any individual seed's cost.
+    fn seed_cost_block(
+        &self,
+        state: &ColoringState,
+        tapes: &[&dyn Randomness],
+        scratch: &mut SimScratch,
+        costs: &mut [f64],
+    ) {
+        debug_assert_eq!(tapes.len(), costs.len());
+        for (tape, c) in tapes.iter().zip(costs.iter_mut()) {
+            *c = self.seed_cost_fused(state, *tape, scratch);
+        }
+    }
+
     /// Nodes failing the strong success property under `out`.  Must be a
     /// subset of the active uncolored-after-outcome nodes: a node that the
     /// outcome colors is always deemed successful (its output is final),
@@ -545,20 +659,25 @@ impl<'g> Runner<'g> {
                 chunks,
             } => {
                 // Fast path: scratch-buffer simulation, one arena per
-                // seed-search worker, sequential inner simulation.
+                // seed-search worker, sequential inner simulation, seeds
+                // evaluated in blocks so procedures can amortize their
+                // scans across the block's seed lanes.
                 let st: &ColoringState = state;
                 let n = st.n();
-                let sel = select_seed_with(
+                let sel = select_seed_blocks(
                     prg.seed_bits(),
                     *strategy,
                     || SimScratch::new(n),
-                    |seed, scratch| {
-                        let tape = PrgTape::new(*prg, seed, chunks);
-                        let keyed = StreamTape {
-                            inner: &tape,
-                            stream,
-                        };
-                        proc.seed_cost_fused(st, &keyed, scratch)
+                    |seed0, costs, scratch| {
+                        let tapes = prg.block_tapes(seed0, chunks);
+                        let keyed: [StreamTape<PrgTape>; SEED_BLOCK] =
+                            std::array::from_fn(|i| StreamTape {
+                                inner: &tapes[i],
+                                stream,
+                            });
+                        let refs: [&dyn Randomness; SEED_BLOCK] =
+                            std::array::from_fn(|i| &keyed[i] as &dyn Randomness);
+                        proc.seed_cost_block(st, &refs[..costs.len()], scratch, costs);
                     },
                 );
                 debug_assert!(sel.satisfies_guarantee());
@@ -636,6 +755,27 @@ impl<R: Randomness + ?Sized> Randomness for StreamTape<'_, R> {
             node,
             self.stream.wrapping_mul(0x1000_0000_01B3) ^ stream,
             idx,
+        )
+    }
+
+    // Forward the batch plane with the remapped stream so the inner
+    // tape's lane mixers stay engaged.  `fill_below`/`fill_bernoulli`
+    // need no override: their trait defaults route through `fill_words`.
+    fn fill_words(&self, stream: u64, nodes: &[u32], idx: u32, out: &mut [u64]) {
+        self.inner.fill_words(
+            self.stream.wrapping_mul(0x1000_0000_01B3) ^ stream,
+            nodes,
+            idx,
+            out,
+        )
+    }
+
+    fn fill_words_seq(&self, node: u32, stream: u64, idx0: u32, out: &mut [u64]) {
+        self.inner.fill_words_seq(
+            node,
+            self.stream.wrapping_mul(0x1000_0000_01B3) ^ stream,
+            idx0,
+            out,
         )
     }
 }

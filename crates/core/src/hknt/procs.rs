@@ -16,6 +16,7 @@ use crate::framework::{NormalProcedure, Outcome, SimScratch};
 use crate::instance::ColoringState;
 use parcolor_local::graph::{Graph, NodeId};
 use parcolor_local::tape::Randomness;
+use parcolor_prg::SEED_BLOCK;
 use rayon::prelude::*;
 
 /// Streams used to separate the random draws inside one procedure.
@@ -365,11 +366,21 @@ impl NormalProcedure for TryRandomColor<'_> {
 
     fn simulate_into(&self, state: &ColoringState, rng: &dyn Randomness, scratch: &mut SimScratch) {
         scratch.begin();
-        // Pick caching: one tape read per active node (the naïve
-        // `simulate` above re-derives `pick(u)` once per incident edge).
-        for &v in &self.set.active {
-            scratch.set_pick(v, self.pick(state, rng, v));
+        // Pick caching through the batched plane: one `fill_below` stripe
+        // over the active nodes (the naïve `simulate` above re-derives
+        // `pick(u)` once per incident edge, one scalar mixer call each).
+        let mut plane = std::mem::take(&mut scratch.plane);
+        plane.draw_below(
+            rng,
+            S_PICK ^ self.round_tag << 8,
+            0,
+            &self.set.active,
+            |v| state.palette(v).len() as u64,
+        );
+        for (i, &v) in self.set.active.iter().enumerate() {
+            scratch.set_pick(v, state.palette(v)[plane.vals[i] as usize]);
         }
+        scratch.plane = plane;
         // Clashing is symmetric: one pass over the pre-filtered active
         // edge list marks both endpoints of every same-pick edge.
         for &(a, b) in self.active_edges() {
@@ -405,12 +416,21 @@ impl NormalProcedure for TryRandomColor<'_> {
             // adoption outcome entirely and count marks during the scan.
             SspMode::Colored | SspMode::Auto => {
                 scratch.begin();
-                // Stamp-free fill: every pick read below is of a node
-                // written in this pass, so the validity stamps are dead
-                // weight here.
-                for &v in &self.set.active {
-                    scratch.set_pick_raw(v, self.pick(state, rng, v));
+                // Stamp-free fill off the batched plane: every pick read
+                // below is of a node written in this pass, so the validity
+                // stamps are dead weight here.
+                let mut plane = std::mem::take(&mut scratch.plane);
+                plane.draw_below(
+                    rng,
+                    S_PICK ^ self.round_tag << 8,
+                    0,
+                    &self.set.active,
+                    |v| state.palette(v).len() as u64,
+                );
+                for (i, &v) in self.set.active.iter().enumerate() {
+                    scratch.set_pick_raw(v, state.palette(v)[plane.vals[i] as usize]);
                 }
+                scratch.plane = plane;
                 let mut clashed = 0usize;
                 for &(a, b) in self.active_edges() {
                     if scratch.pick_raw(a) == scratch.pick_raw(b) {
@@ -424,6 +444,108 @@ impl NormalProcedure for TryRandomColor<'_> {
             _ => {
                 self.simulate_into(state, rng, scratch);
                 self.seed_cost_scratch(state, scratch)
+            }
+        }
+    }
+
+    /// Seed-lane block evaluation: the picks of all the block's seeds are
+    /// materialized as one structure-of-arrays plane (`soa[v] = [pick
+    /// under seed lane 0, …, lane 7]`), then **one** pass over the active
+    /// edge list compares whole lanes at a time — amortizing the clash
+    /// scan's memory traffic across up to `SEED_BLOCK` seeds, where the
+    /// scalar fused path re-walks the edges once per seed.  Unused lanes
+    /// are padded with the node's own id, which can never collide across
+    /// an edge.  Each lane's clashed-node count is exactly what
+    /// `seed_cost_fused` computes for that seed.
+    fn seed_cost_block(
+        &self,
+        state: &ColoringState,
+        tapes: &[&dyn Randomness],
+        scratch: &mut SimScratch,
+        costs: &mut [f64],
+    ) {
+        debug_assert_eq!(tapes.len(), costs.len());
+        match self.ssp {
+            SspMode::Colored | SspMode::Auto => {
+                scratch.begin();
+                let mut plane = std::mem::take(&mut scratch.plane);
+                // Bounds gathered once for the whole block.
+                let n_active = self.set.active.len();
+                plane.bounds.clear();
+                plane.bounds.extend(
+                    self.set
+                        .active
+                        .iter()
+                        .map(|&v| state.palette(v).len() as u64),
+                );
+                plane.soa.resize(state.n(), [0u32; SEED_BLOCK]);
+                // All lanes' draws land in one stripe-major buffer
+                // (lane s at offset s·n_active) …
+                plane.vals.resize(n_active * tapes.len(), 0);
+                let stream = S_PICK ^ self.round_tag << 8;
+                for (s, tape) in tapes.iter().enumerate() {
+                    let out = &mut plane.vals[s * n_active..(s + 1) * n_active];
+                    tape.fill_below(stream, &self.set.active, 0, &plane.bounds, out);
+                }
+                // … so the pick map resolves each node's palette once and
+                // writes its whole seed-lane row (pad lanes get the node's
+                // own id, which can never collide across an edge).
+                let vals = &plane.vals;
+                let soa = &mut plane.soa;
+                for (i, &v) in self.set.active.iter().enumerate() {
+                    let pal = state.palette(v);
+                    let lanes = &mut soa[v as usize];
+                    for (s, lane) in lanes.iter_mut().take(tapes.len()).enumerate() {
+                        *lane = pal[vals[s * n_active + i] as usize];
+                    }
+                    for lane in lanes.iter_mut().skip(tapes.len()) {
+                        *lane = v;
+                    }
+                }
+                // One lane-parallel clash scan for the whole block: each
+                // edge contributes a lane-equality bitmask OR-ed into both
+                // endpoints' accumulators — branchless, so the (frequent)
+                // clash case costs the same as the clean case — and the
+                // per-lane clashed-node counts are read off the masks in
+                // one pass over the active stripe.
+                plane.lane_mask.resize(state.n(), 0);
+                for &v in &self.set.active {
+                    plane.lane_mask[v as usize] = 0;
+                }
+                let soa = &plane.soa;
+                let mask = &mut plane.lane_mask;
+                for &(a, b) in self.active_edges() {
+                    let pa = &soa[a as usize];
+                    let pb = &soa[b as usize];
+                    let mut eq = 0u8;
+                    for s in 0..SEED_BLOCK {
+                        eq |= u8::from(pa[s] == pb[s]) << s;
+                    }
+                    mask[a as usize] |= eq;
+                    mask[b as usize] |= eq;
+                }
+                // Pad lanes never fire (distinct endpoint ids), so every
+                // set bit belongs to a real seed lane.
+                let mut clashed = [0usize; SEED_BLOCK];
+                for &v in &self.set.active {
+                    let m = plane.lane_mask[v as usize];
+                    if m != 0 {
+                        for (s, c) in clashed.iter_mut().enumerate() {
+                            *c += usize::from(m >> s & 1);
+                        }
+                    }
+                }
+                scratch.plane = plane;
+                for (s, c) in costs.iter_mut().enumerate() {
+                    *c = clashed[s] as f64;
+                }
+            }
+            // Slack-based SSPs read neighbors' adopted colors per seed:
+            // fall back to the per-seed fused path.
+            _ => {
+                for (tape, c) in tapes.iter().zip(costs.iter_mut()) {
+                    *c = self.seed_cost_fused(state, *tape, scratch);
+                }
             }
         }
     }
@@ -489,13 +611,16 @@ impl<'a> MultiTrial<'a> {
     fn draw(&self, state: &ColoringState, rng: &dyn Randomness, v: NodeId) -> Vec<u32> {
         let mut buf = Vec::new();
         let mut tmp = Vec::new();
-        self.draw_into(state, rng, v, &mut buf, &mut tmp);
+        let mut words = Vec::new();
+        self.draw_into(state, rng, v, &mut buf, &mut tmp, &mut words);
         buf
     }
 
     /// Append the sorted candidate set of `v` to `buf` (allocation-free
-    /// once `buf`/`tmp` have warmed up).  Tape addressing is identical to
-    /// the historical `draw`, so outcomes are unchanged.
+    /// once the buffers have warmed up).  The node's tape words are
+    /// fetched as one `fill_words_seq` stripe into `words`; tape
+    /// addressing is identical to the historical scalar `draw`, so
+    /// outcomes are unchanged.
     fn draw_into(
         &self,
         state: &ColoringState,
@@ -503,25 +628,38 @@ impl<'a> MultiTrial<'a> {
         v: NodeId,
         buf: &mut Vec<u32>,
         tmp: &mut Vec<u32>,
+        words: &mut Vec<u64>,
     ) {
         let pal = state.palette(v);
         let want = self.x.min(pal.len());
         let stream = S_PICK ^ (self.round_tag << 8) ^ 0x4d54;
         let start = buf.len();
+        words.resize(want, 0);
         if want * 2 >= pal.len() {
-            // Dense draw: partial Fisher-Yates over a palette copy.
+            // Dense draw: partial Fisher-Yates over a palette copy, words
+            // at idx 0..want batched up front.
+            rng.fill_words_seq(v, stream, 0, words);
             tmp.clear();
             tmp.extend_from_slice(pal);
-            for i in 0..want {
-                let j = i + rng.below(v, stream, i as u32, (tmp.len() - i) as u64) as usize;
+            for (i, &w) in words.iter().enumerate() {
+                let bound = (tmp.len() - i) as u64;
+                let j = i + ((w as u128 * bound as u128) >> 64) as usize;
                 tmp.swap(i, j);
             }
             buf.extend_from_slice(&tmp[..want]);
         } else {
-            // Sparse draw: rejection sampling of distinct indices.
+            // Sparse draw: rejection sampling of distinct indices.  The
+            // loop consumes at least `want` words (idx 1000, 1001, …), so
+            // that minimum is prefetched as a stripe; collisions beyond it
+            // fall back to scalar reads of the same addresses.
+            rng.fill_words_seq(v, stream, 1000, words);
             let mut idx = 0u32;
             while buf.len() - start < want {
-                let j = rng.below(v, stream, 1000 + idx, pal.len() as u64) as usize;
+                let w = match words.get(idx as usize) {
+                    Some(&w) => w,
+                    None => rng.word(v, stream, 1000 + idx),
+                };
+                let j = ((w as u128 * pal.len() as u128) >> 64) as usize;
                 idx += 1;
                 let c = pal[j];
                 if !buf[start..].contains(&c) {
@@ -585,11 +723,13 @@ impl NormalProcedure for MultiTrial<'_> {
         let mut draw_colors = std::mem::take(&mut scratch.draw_colors);
         let mut draw_off = std::mem::take(&mut scratch.draw_off);
         let mut tmp = std::mem::take(&mut scratch.perm);
+        let mut words = std::mem::take(&mut scratch.plane.vals);
         draw_off.push(0);
         for &v in &self.set.active {
-            self.draw_into(state, rng, v, &mut draw_colors, &mut tmp);
+            self.draw_into(state, rng, v, &mut draw_colors, &mut tmp, &mut words);
             draw_off.push(draw_colors.len());
         }
+        scratch.plane.vals = words;
         // Phase 2: adopt the first candidate no active neighbor drew.
         for (i, &v) in self.set.active.iter().enumerate() {
             let mine = &draw_colors[draw_off[i]..draw_off[i + 1]];
@@ -721,11 +861,35 @@ impl NormalProcedure for GenerateSlack<'_> {
         scratch.begin();
         // Cache sampling + pick once per active node ("sampled" ⇔ a pick
         // is cached); the naïve path re-derives both per incident edge.
-        for &v in &self.set.active {
-            if self.sampled(rng, v) {
-                scratch.set_pick(v, self.pick(state, rng, v));
-            }
+        // Two plane stripes: Bernoulli bits over all active nodes, then
+        // bounded picks over the gathered sampled subset only (the scalar
+        // path also draws picks only for sampled nodes).
+        let mut plane = std::mem::take(&mut scratch.plane);
+        plane.draw_bernoulli(
+            rng,
+            S_SAMPLE ^ (self.round_tag << 8),
+            0,
+            &self.set.active,
+            self.prob,
+        );
+        let mut sampled = std::mem::take(&mut plane.nodes);
+        sampled.clear();
+        sampled.extend(
+            self.set
+                .active
+                .iter()
+                .zip(plane.bits.iter())
+                .filter(|&(_, &hit)| hit)
+                .map(|(&v, _)| v),
+        );
+        plane.draw_below(rng, S_PICK ^ (self.round_tag << 8), 1, &sampled, |v| {
+            state.palette(v).len() as u64
+        });
+        for (i, &v) in sampled.iter().enumerate() {
+            scratch.set_pick(v, state.palette(v)[plane.vals[i] as usize]);
         }
+        plane.nodes = sampled;
+        scratch.plane = plane;
         // Same-pick collisions between sampled nodes are symmetric: one
         // pass over the pre-filtered active edge list marks both ends.
         for &(a, b) in self.active_edges() {
@@ -858,17 +1022,21 @@ impl NormalProcedure for SynchColorTrial<'_> {
         scratch.begin();
         // Phase 1: leaders deal colors; proposals live in the pick cache.
         let mut perm = std::mem::take(&mut scratch.perm);
+        let mut plane = std::mem::take(&mut scratch.plane);
         for ct in &self.cliques {
             let pal = state.palette(ct.leader);
             if pal.is_empty() {
                 continue;
             }
-            // Leader permutes its palette with its own randomness.
+            // Leader permutes its palette with its own randomness: the
+            // Fisher-Yates words (idx 1..|pal|) come off the plane as one
+            // idx-stripe, the data-dependent swaps stay sequential.
             perm.clear();
             perm.extend_from_slice(pal);
             let stream = S_PERM ^ (self.round_tag << 8);
+            plane.draw_words_seq(rng, ct.leader, stream, 1, perm.len().saturating_sub(1));
             for i in (1..perm.len()).rev() {
-                let j = rng.below(ct.leader, stream, i as u32, (i + 1) as u64) as usize;
+                let j = ((plane.vals[i - 1] as u128 * (i as u128 + 1)) >> 64) as usize;
                 perm.swap(i, j);
             }
             for (k, &v) in ct.inliers.iter().take(perm.len()).enumerate() {
@@ -876,6 +1044,7 @@ impl NormalProcedure for SynchColorTrial<'_> {
             }
         }
         scratch.perm = perm;
+        scratch.plane = plane;
         // Phase 2: symmetric conflict resolution + palette membership.
         for &v in &self.set.active {
             let Some(c) = scratch.pick(v) else { continue };
@@ -1022,18 +1191,20 @@ impl NormalProcedure for PutAside<'_> {
     fn simulate_into(&self, state: &ColoringState, rng: &dyn Randomness, scratch: &mut SimScratch) {
         let _ = state;
         scratch.begin();
-        // Per-node sampling probability: only inlier entries are stamped
-        // (the naïve path memsets an O(n) table every evaluation).
+        // Sample bits cached once per inlier (≙ once per edge before),
+        // batched per clique — each clique's inliers share one sampling
+        // probability, so they form one Bernoulli stripe.  Later cliques
+        // overwrite shared inliers, matching the scalar path's last-writer
+        // probability table; nodes in no clique stay unset (⇔ bit false).
+        let mut plane = std::mem::take(&mut scratch.plane);
+        let stream = S_SAMPLE ^ (self.round_tag << 8) ^ 0x5041;
         for cq in &self.cliques {
-            for &v in &cq.inliers {
-                scratch.set_prob(v, cq.prob);
+            plane.draw_bernoulli(rng, stream, 0, &cq.inliers, cq.prob);
+            for (i, &v) in cq.inliers.iter().enumerate() {
+                scratch.set_bit(v, cq.prob > 0.0 && plane.bits[i]);
             }
         }
-        // Sample bit cached once per active node (≙ once per edge before).
-        for &v in &self.set.active {
-            let pv = scratch.prob(v);
-            scratch.set_bit(v, pv > 0.0 && self.sampled(rng, v, pv));
-        }
+        scratch.plane = plane;
         // P = sampled nodes with no sampled neighbor (anywhere).
         for &v in &self.set.active {
             if !scratch.bit(v) {

@@ -65,12 +65,24 @@ impl PaletteArena {
     /// The canonical (Δ+1)-coloring palette: every node gets `0..=deg`.
     /// This realizes the reduction "(Δ+1)-coloring ≤ D1LC" from the paper's
     /// introduction.
+    ///
+    /// Constructed straight into the flat arena: the lists `0..=deg` are
+    /// already duplicate-free, so no intermediate per-node `Vec` (and no
+    /// dedup pass) is needed — offsets are a prefix sum of `deg + 1`.
     pub fn degree_plus_one(g: &Graph) -> Self {
-        let lists: Vec<Vec<u32>> = (0..g.n() as NodeId)
-            .into_par_iter()
-            .map(|v| (0..=g.degree(v) as u32).collect())
-            .collect();
-        Self::from_lists(&lists)
+        let n = g.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut total = 0u64;
+        for v in 0..n as NodeId {
+            total += g.degree(v) as u64 + 1;
+            offsets.push(total);
+        }
+        let mut colors = Vec::with_capacity(total as usize);
+        for v in 0..n as NodeId {
+            colors.extend(0..=g.degree(v) as u32);
+        }
+        PaletteArena { offsets, colors }
     }
 
     /// Number of nodes.
@@ -508,6 +520,17 @@ mod tests {
         }
         let pa = PaletteArena::from_lists(&[list]);
         assert_eq!(pa.palette(0), &expect[..]);
+    }
+
+    #[test]
+    fn degree_plus_one_matches_from_lists() {
+        // The direct arena construction must equal the list-based one.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 4)]);
+        let direct = PaletteArena::degree_plus_one(&g);
+        let lists: Vec<Vec<u32>> = (0..g.n() as NodeId)
+            .map(|v| (0..=g.degree(v) as u32).collect())
+            .collect();
+        assert_eq!(direct, PaletteArena::from_lists(&lists));
     }
 
     #[test]

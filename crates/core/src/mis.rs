@@ -68,12 +68,21 @@ fn undominated(g: &Graph, live: &[bool], joined: &[NodeId]) -> usize {
 }
 
 /// Per-worker scratch for the derandomized seed search: a reusable
-/// `joined` buffer plus an epoch-stamped domination mask, so one seed
-/// evaluation allocates nothing after warm-up.
+/// `joined` buffer, an epoch-stamped domination mask, and the round's
+/// **priority plane** — the live nodes' tape words, filled by one batched
+/// `fill_words` stripe per seed and scattered densely so the winner scan
+/// reads priorities as array lookups instead of re-mixing the tape once
+/// per incident edge.  One seed evaluation allocates nothing after
+/// warm-up.
 struct LubyScratch {
     joined: Vec<NodeId>,
     stamp: Vec<u32>,
     epoch: u32,
+    /// Dense priority plane, valid at live-node positions for the seed
+    /// under evaluation.
+    prio: Vec<u64>,
+    /// Stripe buffer aligned with the round's live-node list.
+    vals: Vec<u64>,
 }
 
 impl LubyScratch {
@@ -82,28 +91,38 @@ impl LubyScratch {
             joined: Vec::new(),
             stamp: vec![0; n],
             epoch: 0,
+            prio: vec![0; n],
+            vals: Vec::new(),
         }
     }
 }
 
 /// `luby_round`, writing into a reusable buffer (sequential: the seed
-/// search parallelizes over seeds, not nodes).
+/// search parallelizes over seeds, not nodes).  `live_list` is the
+/// ascending list of live nodes (the same order the scalar scan visits);
+/// their priorities come off the tape as one batched stripe — bit-
+/// identical words, so the joined set matches [`luby_round`] exactly.
 fn luby_round_into(
     g: &Graph,
     live: &[bool],
+    live_list: &[NodeId],
     rng: &dyn Randomness,
     round: u64,
-    out: &mut Vec<NodeId>,
+    scratch: &mut LubyScratch,
 ) {
+    scratch.vals.resize(live_list.len(), 0);
+    rng.fill_words(round, live_list, 0, &mut scratch.vals);
+    for (i, &v) in live_list.iter().enumerate() {
+        scratch.prio[v as usize] = scratch.vals[i];
+    }
+    let prio = &scratch.prio;
+    let out = &mut scratch.joined;
     out.clear();
-    for v in 0..g.n() as NodeId {
-        if !live[v as usize] {
-            continue;
-        }
-        let pv = rng.word(v, round, 0);
+    for &v in live_list {
+        let pv = prio[v as usize];
         let wins = g.neighbors(v).iter().all(|&u| {
             !live[u as usize] || {
-                let pu = rng.word(u, round, 0);
+                let pu = prio[u as usize];
                 pv > pu || (pv == pu && v < u)
             }
         });
@@ -182,15 +201,19 @@ pub fn derandomized_luby_mis(
         rounds += 1;
         assert!(rounds <= max_rounds, "derandomized Luby exceeded budget");
         let live_ro = &live;
+        // The round's live-node list, computed once and shared by every
+        // seed evaluation as the batch stripe of the priority plane.
+        let live_list: Vec<NodeId> = (0..g.n() as NodeId)
+            .filter(|&v| live_ro[v as usize])
+            .collect();
+        let live_list = &live_list;
         let sel = select_seed_with(
             seed_bits,
             strategy,
             || LubyScratch::new(g.n()),
             |seed, scratch| {
                 let tape = PrgTape::new(prg, seed, &chunks);
-                let mut joined = std::mem::take(&mut scratch.joined);
-                luby_round_into(g, live_ro, &tape, rounds, &mut joined);
-                scratch.joined = joined;
+                luby_round_into(g, live_ro, live_list, &tape, rounds, scratch);
                 undominated_scratch(g, live_ro, scratch) as f64
             },
         );
@@ -246,6 +269,28 @@ mod tests {
             }
         }
         Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn batched_round_matches_reference_round() {
+        // The priority-plane round must produce exactly the joined set of
+        // the scalar reference round, on full and partial live sets.
+        let g = random_graph(300, 1200, 9);
+        let tape = CryptoTape::new(31);
+        let mut scratch = LubyScratch::new(g.n());
+        for round in 1..4u64 {
+            let live: Vec<bool> = (0..g.n()).map(|v| v % (round as usize + 1) != 1).collect();
+            let live_list: Vec<NodeId> =
+                (0..g.n() as NodeId).filter(|&v| live[v as usize]).collect();
+            let reference = luby_round(&g, &live, &tape, round);
+            luby_round_into(&g, &live, &live_list, &tape, round, &mut scratch);
+            assert_eq!(scratch.joined, reference, "round {round}");
+            assert_eq!(
+                undominated_scratch(&g, &live, &mut scratch),
+                undominated(&g, &live, &reference),
+                "round {round}"
+            );
+        }
     }
 
     #[test]

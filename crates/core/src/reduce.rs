@@ -64,25 +64,114 @@ pub struct PartitionStats {
     pub worst_degree_ratio: f64,
 }
 
-/// Violations of Lemma 23's two properties for a candidate `(h1, h2)`.
-/// Returns `(hard_violators, soft_count)`: *hard* = the restricted palette
-/// would not cover the in-bin degree (breaks the D1LC promise of the
-/// sub-instance — those nodes must fall back to `G_mid`); *soft* = the
-/// `2d/B` degree bound is exceeded (slows the recursion but breaks
-/// nothing).
+/// Per-search scratch of the batched hash plane (Lemma 23's search).
+///
+/// The stripe inputs — high node ids and the color hash inputs — are
+/// built **once per partition call**; per candidate seed, two
+/// [`KWiseHash::eval_batch`] passes fill the output planes and a dense
+/// node→bin scatter turns the per-incident-edge `h₁` evaluations of the
+/// scalar formulation into array reads.  Every lookup reproduces the
+/// scalar `eval` bit-for-bit (the hashing batch contract), so the chosen
+/// seed and all statistics are unchanged.
+struct HashPlane {
+    /// High node ids as `h₁` inputs (fixed across seeds).
+    xs_high: Vec<u64>,
+    /// `h₁` bins aligned with `xs_high` (refilled per seed).
+    high_bins: Vec<u64>,
+    /// Dense node → `h₁` bin, valid at high positions (refilled per seed).
+    bin_of: Vec<u64>,
+    /// `h₂` inputs: the color universe `0..=max_color` (dense mode) or
+    /// the concatenated high-node palettes (occurrence mode).
+    xs_colors: Vec<u64>,
+    /// Occurrence-mode offsets into `xs_colors`, one per high node + 1
+    /// (empty in dense mode).
+    color_off: Vec<usize>,
+    /// `h₂` bins aligned with `xs_colors` (refilled per seed).
+    color_bins: Vec<u64>,
+}
+
+impl HashPlane {
+    fn new(g: &Graph, state: &ColoringState, high: &[NodeId]) -> Self {
+        let xs_high: Vec<u64> = high.iter().map(|&v| v as u64).collect();
+        let pal_words: usize = high.iter().map(|&v| state.palette(v).len()).sum();
+        let max_color = high
+            .iter()
+            .flat_map(|&v| state.palette(v).iter().copied())
+            .max();
+        // Dense mode evaluates each color of the universe once per seed;
+        // it wins whenever the universe is not much larger than the
+        // palette storage (always true for degree+1 palettes).  Sparse
+        // universes fall back to one evaluation per palette occurrence —
+        // exactly the scalar path's count, just batched.
+        let dense = max_color.is_some_and(|m| (m as usize) < 2 * pal_words + 1024);
+        let (xs_colors, color_off) = if dense {
+            ((0..=max_color.unwrap() as u64).collect(), Vec::new())
+        } else {
+            let mut xs = Vec::with_capacity(pal_words);
+            let mut off = Vec::with_capacity(high.len() + 1);
+            off.push(0);
+            for &v in high {
+                xs.extend(state.palette(v).iter().map(|&c| c as u64));
+                off.push(xs.len());
+            }
+            (xs, off)
+        };
+        HashPlane {
+            xs_high,
+            high_bins: vec![0; high.len()],
+            bin_of: vec![u64::MAX; g.n()],
+            color_bins: vec![0; xs_colors.len()],
+            xs_colors,
+            color_off,
+        }
+    }
+
+    /// Evaluate `(h1, h2)` over the stripes and scatter the node bins.
+    fn fill(&mut self, high: &[NodeId], h1: &KWiseHash, h2: &KWiseHash) {
+        h1.eval_batch(&self.xs_high, &mut self.high_bins);
+        for (i, &v) in high.iter().enumerate() {
+            self.bin_of[v as usize] = self.high_bins[i];
+        }
+        h2.eval_batch(&self.xs_colors, &mut self.color_bins);
+    }
+
+    /// `|{c ∈ Ψ(v) : h₂(c) = b}|` for the `i`-th high node `v`.
+    #[inline]
+    fn palette_in_bin(&self, state: &ColoringState, i: usize, v: NodeId, b: u64) -> usize {
+        if self.color_off.is_empty() {
+            state
+                .palette(v)
+                .iter()
+                .filter(|&&c| self.color_bins[c as usize] == b)
+                .count()
+        } else {
+            self.color_bins[self.color_off[i]..self.color_off[i + 1]]
+                .iter()
+                .filter(|&&cb| cb == b)
+                .count()
+        }
+    }
+}
+
+/// Violations of Lemma 23's two properties for a candidate `(h1, h2)`,
+/// read off a filled [`HashPlane`].  Returns `(hard_violators,
+/// soft_count)`: *hard* = the restricted palette would not cover the
+/// in-bin degree (breaks the D1LC promise of the sub-instance — those
+/// nodes must fall back to `G_mid`); *soft* = the `2d/B` degree bound is
+/// exceeded (slows the recursion but breaks nothing).
 fn violating_nodes(
     g: &Graph,
     state: &ColoringState,
     high: &[NodeId],
     high_mask: &[bool],
-    h1: &KWiseHash,
-    h2: &KWiseHash,
+    plane: &HashPlane,
     bins: usize,
 ) -> (Vec<NodeId>, usize) {
     let marks: Vec<(bool, bool)> = high
         .par_iter()
-        .map(|&v| {
-            let b = h1.eval(v as u64);
+        .enumerate()
+        .map(|(i, &v)| {
+            let b = plane.high_bins[i];
             let d: usize = g
                 .neighbors(v)
                 .iter()
@@ -91,7 +180,7 @@ fn violating_nodes(
             let d_in: usize = g
                 .neighbors(v)
                 .iter()
-                .filter(|&&u| high_mask[u as usize] && h1.eval(u as u64) == b)
+                .filter(|&&u| high_mask[u as usize] && plane.bin_of[u as usize] == b)
                 .count();
             // Degree reduction: d'(v) < max(2, 2 d(v)/B).  The `max(2)`
             // absorbs integer effects at small degrees (Lemma 23 is stated
@@ -99,14 +188,7 @@ fn violating_nodes(
             let deg_bound = (2.0 * d as f64 / bins as f64).max(2.0);
             let soft = d_in as f64 >= deg_bound;
             // Palette property for restricted bins only.
-            let hard = (b as usize) < bins - 1 && {
-                let p_in = state
-                    .palette(v)
-                    .iter()
-                    .filter(|&&c| h2.eval(c as u64) == b)
-                    .count();
-                p_in <= d_in
-            };
+            let hard = (b as usize) < bins - 1 && plane.palette_in_bin(state, i, v, b) <= d_in;
             (hard, soft)
         })
         .collect();
@@ -162,12 +244,16 @@ pub fn low_space_partition(
     // Deterministic search (the method of conditional expectations over
     // the hash family, realized as an argmin over an indexed prefix):
     // hard violations dominate the cost; stop early at a perfect seed.
+    // Each candidate seed expands its coefficients once and fills the
+    // batched hash plane; the violation scan then reads array entries.
+    let mut plane = HashPlane::new(g, state, &high);
     let mut best: Option<(u64, Vec<NodeId>, usize, u64)> = None;
     let mut tried = 0u64;
     for seed in 0..budget.max(1) {
         tried += 1;
         let (h1, h2) = derive(seed);
-        let (hard, soft) = violating_nodes(g, state, &high, &high_mask, &h1, &h2, bins);
+        plane.fill(&high, &h1, &h2);
+        let (hard, soft) = violating_nodes(g, state, &high, &high_mask, &plane, bins);
         let score = hard.len() as u64 * 1_000_000 + soft as u64;
         let better = best.as_ref().is_none_or(|&(_, _, _, bs)| score < bs);
         if better {
@@ -180,6 +266,8 @@ pub fn low_space_partition(
     }
     let (chosen_seed, violators, soft_violations, _) = best.unwrap();
     let (h1, h2) = derive(chosen_seed);
+    plane.fill(&high, &h1, &h2);
+    let plane = &plane;
 
     // Fallback: violators join G_mid (they keep full palettes and are
     // colored after the bins, so correctness is unaffected; only the
@@ -195,23 +283,26 @@ pub fn low_space_partition(
     let mut bins_vec: Vec<Vec<NodeId>> = vec![Vec::new(); bins];
     for &v in &high {
         if !is_violator[v as usize] {
-            bins_vec[h1.eval(v as u64) as usize].push(v);
+            bins_vec[plane.bin_of[v as usize] as usize].push(v);
         }
     }
 
-    // Diagnostic: realized degree-reduction ratio.
+    // Diagnostic: realized degree-reduction ratio (off the chosen seed's
+    // plane — identical to re-evaluating h₁ per node and neighbor).
     let worst_ratio = high
         .par_iter()
         .copied()
         .filter(|&v| !is_violator[v as usize])
         .map(|v| {
-            let b = h1.eval(v as u64);
+            let b = plane.bin_of[v as usize];
             let d = deg_of(v).max(1);
             let d_in = g
                 .neighbors(v)
                 .iter()
                 .filter(|&&u| {
-                    high_mask[u as usize] && !is_violator[u as usize] && h1.eval(u as u64) == b
+                    high_mask[u as usize]
+                        && !is_violator[u as usize]
+                        && plane.bin_of[u as usize] == b
                 })
                 .count();
             d_in as f64 * bins as f64 / d as f64

@@ -13,6 +13,27 @@
 //!   (used by the randomized baselines, Lemma 4 of the paper).
 //! * PRG-backed tapes (in `parcolor-prg`) — short-seed pseudorandomness
 //!   used by the derandomized pipeline (Lemma 10 / Theorem 12).
+//!
+//! ## The batch contract
+//!
+//! Hot paths consume randomness through the batch plane — the
+//! `fill_words` / `fill_words_seq` / `fill_below` / `fill_bernoulli`
+//! methods of [`Randomness`] — rather than one scalar [`Randomness::word`]
+//! call at a time.  The contract every implementation must honor:
+//!
+//! * **Bit-identical to scalar.**  `fill_*` over a stripe must produce
+//!   exactly the words/draws that the corresponding scalar calls would:
+//!   `fill_words(stream, nodes, idx, out)` ⇔ `out[i] = word(nodes[i],
+//!   stream, idx)`, and likewise for the derived draws.  Batching is a
+//!   throughput optimization, never a semantic change — the golden tests
+//!   and `tests/batch_randomness_equivalence.rs` pin this.
+//! * **Lane width is an internal detail.**  Overrides mix fixed-width
+//!   lanes the compiler can autovectorize, with a scalar tail; callers
+//!   must not observe (or depend on) any particular lane width, and
+//!   stripes of every length — including empty — are valid.
+//! * **Defaults are correct.**  The trait defaults fall back to scalar
+//!   `word` calls (chunked through `fill_words` where that helps), so a
+//!   tape only implementing `word` is already a valid, if slower, source.
 
 /// A deterministic source of random words addressed by
 /// `(node, stream, index)`.
@@ -44,6 +65,79 @@ pub trait Randomness: Sync {
         let u = (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         u < p
     }
+
+    // -- batch plane -----------------------------------------------------
+
+    /// Word `idx` of `stream` for a stripe of nodes:
+    /// `out[i] = word(nodes[i], stream, idx)`.
+    ///
+    /// The default is the scalar loop; tapes with a known mixer override
+    /// it with autovectorizable lanes (bit-identically — see the module
+    /// docs for the batch contract).
+    fn fill_words(&self, stream: u64, nodes: &[u32], idx: u32, out: &mut [u64]) {
+        debug_assert_eq!(nodes.len(), out.len());
+        for (o, &v) in out.iter_mut().zip(nodes) {
+            *o = self.word(v, stream, idx);
+        }
+    }
+
+    /// Consecutive words of one node's tape:
+    /// `out[i] = word(node, stream, idx0 + i)`.
+    ///
+    /// The idx-stripe dual of [`Randomness::fill_words`], used by draws
+    /// that walk one node's tape (permutation deals, multi-color draws).
+    fn fill_words_seq(&self, node: u32, stream: u64, idx0: u32, out: &mut [u64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.word(node, stream, idx0.wrapping_add(i as u32));
+        }
+    }
+
+    /// Bounded draws for a stripe of nodes with per-node bounds:
+    /// `out[i] = below(nodes[i], stream, idx, bounds[i])`.
+    ///
+    /// Implemented on top of [`Randomness::fill_words`] (the Lemire
+    /// reduction is elementwise), so overriding `fill_words` batches this
+    /// for free.
+    fn fill_below(&self, stream: u64, nodes: &[u32], idx: u32, bounds: &[u64], out: &mut [u64]) {
+        debug_assert_eq!(nodes.len(), bounds.len());
+        self.fill_words(stream, nodes, idx, out);
+        for (o, &b) in out.iter_mut().zip(bounds) {
+            debug_assert!(b > 0);
+            *o = ((*o as u128 * b as u128) >> 64) as u64;
+        }
+    }
+
+    /// Bernoulli trials with probability `p` for a stripe of nodes:
+    /// `out[i] = bernoulli(nodes[i], stream, idx, p)`.
+    ///
+    /// Chunks through a stack buffer of [`Randomness::fill_words`] calls,
+    /// so overriding `fill_words` batches this for free.
+    fn fill_bernoulli(&self, stream: u64, nodes: &[u32], idx: u32, p: f64, out: &mut [bool]) {
+        debug_assert_eq!(nodes.len(), out.len());
+        let mut buf = [0u64; 64];
+        for (nch, och) in nodes.chunks(64).zip(out.chunks_mut(64)) {
+            let b = &mut buf[..nch.len()];
+            self.fill_words(stream, nch, idx, b);
+            for (o, &w) in och.iter_mut().zip(b.iter()) {
+                let u = (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                *o = u < p;
+            }
+        }
+    }
+}
+
+/// Adapter forcing the scalar default batch methods of an inner tape —
+/// the "batching off" mode used by equivalence tests and the scalar legs
+/// of the batch benchmarks.  Only [`Randomness::word`] is forwarded, so
+/// every `fill_*` call runs the trait defaults over the inner scalar
+/// mixer.
+pub struct ForceScalar<R>(pub R);
+
+impl<R: Randomness> Randomness for ForceScalar<R> {
+    #[inline]
+    fn word(&self, node: u32, stream: u64, idx: u32) -> u64 {
+        self.0.word(node, stream, idx)
+    }
 }
 
 /// SplitMix64 finalizer: a full-avalanche 64-bit mixer.  This is the
@@ -66,6 +160,12 @@ fn mix4(key: u64, node: u32, stream: u64, idx: u32) -> u64 {
     splitmix64(c ^ (idx as u64).wrapping_mul(0x5897_89E6_C7C0_A791))
 }
 
+/// Fixed lane width of the batched mixers.  An internal tuning knob (wide
+/// enough for one AVX-512 register of u64 lanes, small enough to stay in
+/// registers); exposed only so equivalence tests can probe lane-boundary
+/// stripe sizes.  Callers must not depend on its value.
+pub const MIX_LANES: usize = 8;
+
 /// A stateless keyed tape built from [`splitmix64`]; stands in for "true"
 /// randomness in the randomized baselines.
 ///
@@ -87,6 +187,42 @@ impl Randomness for CryptoTape {
     #[inline]
     fn word(&self, node: u32, stream: u64, idx: u32) -> u64 {
         mix4(self.key, node, stream, idx)
+    }
+
+    /// [`mix4`] over lanes: the key round is hoisted once per stripe and
+    /// the stream/idx products are loop invariants, leaving three
+    /// straight-line splitmix rounds per lane for the autovectorizer.
+    fn fill_words(&self, stream: u64, nodes: &[u32], idx: u32, out: &mut [u64]) {
+        debug_assert_eq!(nodes.len(), out.len());
+        let a = splitmix64(self.key ^ 0xA076_1D64_78BD_642F);
+        let sm = stream.wrapping_mul(0x8EBC_6AF0_9C88_C6E3);
+        let im = (idx as u64).wrapping_mul(0x5897_89E6_C7C0_A791);
+        let mut node_it = nodes.chunks_exact(MIX_LANES);
+        let mut out_it = out.chunks_exact_mut(MIX_LANES);
+        for (nch, och) in (&mut node_it).zip(&mut out_it) {
+            for l in 0..MIX_LANES {
+                let b = splitmix64(a ^ (nch[l] as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
+                let c = splitmix64(b ^ sm);
+                och[l] = splitmix64(c ^ im);
+            }
+        }
+        for (&v, o) in node_it.remainder().iter().zip(out_it.into_remainder()) {
+            let b = splitmix64(a ^ (v as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
+            let c = splitmix64(b ^ sm);
+            *o = splitmix64(c ^ im);
+        }
+    }
+
+    /// [`mix4`] along one node's tape: key, node and stream rounds hoisted
+    /// once, one splitmix round per output word.
+    fn fill_words_seq(&self, node: u32, stream: u64, idx0: u32, out: &mut [u64]) {
+        let a = splitmix64(self.key ^ 0xA076_1D64_78BD_642F);
+        let b = splitmix64(a ^ (node as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
+        let c = splitmix64(b ^ stream.wrapping_mul(0x8EBC_6AF0_9C88_C6E3));
+        for (i, o) in out.iter_mut().enumerate() {
+            let idx = idx0.wrapping_add(i as u32);
+            *o = splitmix64(c ^ (idx as u64).wrapping_mul(0x5897_89E6_C7C0_A791));
+        }
     }
 }
 
@@ -206,6 +342,65 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
         assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_words_match_scalar_at_lane_boundaries() {
+        let t = CryptoTape::new(0xBEEF);
+        for len in [
+            0,
+            1,
+            MIX_LANES - 1,
+            MIX_LANES,
+            MIX_LANES + 1,
+            3 * MIX_LANES + 5,
+        ] {
+            let nodes: Vec<u32> = (0..len as u32)
+                .map(|i| i.wrapping_mul(2654435761))
+                .collect();
+            let mut got = vec![0u64; len];
+            t.fill_words(7, &nodes, 3, &mut got);
+            for (i, &v) in nodes.iter().enumerate() {
+                assert_eq!(got[i], t.word(v, 7, 3), "len {len} lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_seq_matches_scalar() {
+        let t = CryptoTape::new(99);
+        let mut got = vec![0u64; 21];
+        t.fill_words_seq(5, 11, 1000, &mut got);
+        for (i, &w) in got.iter().enumerate() {
+            assert_eq!(w, t.word(5, 11, 1000 + i as u32));
+        }
+    }
+
+    #[test]
+    fn batched_draws_match_scalar() {
+        let t = CryptoTape::new(4242);
+        let nodes: Vec<u32> = (0..37).collect();
+        let bounds: Vec<u64> = (0..37u64).map(|i| i % 9 + 1).collect();
+        let mut below = vec![0u64; 37];
+        t.fill_below(2, &nodes, 1, &bounds, &mut below);
+        let mut bern = vec![false; 37];
+        t.fill_bernoulli(3, &nodes, 0, 0.3, &mut bern);
+        for (i, &v) in nodes.iter().enumerate() {
+            assert_eq!(below[i], t.below(v, 2, 1, bounds[i]));
+            assert_eq!(bern[i], t.bernoulli(v, 3, 0, 0.3));
+        }
+    }
+
+    #[test]
+    fn force_scalar_is_transparent() {
+        let t = CryptoTape::new(17);
+        let s = ForceScalar(CryptoTape::new(17));
+        let nodes: Vec<u32> = (0..MIX_LANES as u32 + 1).collect();
+        let mut a = vec![0u64; nodes.len()];
+        let mut b = vec![0u64; nodes.len()];
+        t.fill_words(5, &nodes, 2, &mut a);
+        s.fill_words(5, &nodes, 2, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -7,8 +7,20 @@
 //! (Lemma 23).  Pairwise independence suffices for the degree/palette
 //! concentration used there; we provide general `k`-wise families
 //! (polynomials of degree `k-1` over `F_p`) so ablations can vary `k`.
+//!
+//! ## The batch contract
+//!
+//! Hot paths (the partition's per-seed hash plane) evaluate members over
+//! a stripe of inputs at once with [`KWiseHash::eval_batch`] instead of
+//! one scalar [`KWiseHash::eval`] per key.  The batch is **bit-identical
+//! to scalar** — the same Horner recurrence over `F_{2^61-1}` with the
+//! same coefficient vector (expanded once per seed by
+//! [`KWiseFamily::member`]), merely run structure-of-arrays: coefficients
+//! in the outer loop, a fixed-width lane of accumulators inner, so the
+//! modular multiply-add autovectorizes.  The lane width is an internal
+//! detail; stripes of any length, including empty, are valid.
 
-use parcolor_local::tape::splitmix64;
+use parcolor_local::tape::{splitmix64, MIX_LANES};
 use rayon::prelude::*;
 
 /// The Mersenne prime `2^61 - 1`.
@@ -101,6 +113,47 @@ impl KWiseHash {
         // Multiply-shift range reduction: bias ≤ range / p ≈ 2^-61·range,
         // negligible at every range we use (≤ n^δ ≤ 2^32).
         ((acc as u128 * self.range as u128) >> 61) as u64
+    }
+
+    /// Batched [`KWiseHash::eval`] over a stripe of inputs:
+    /// `out[i] = eval(xs[i])`, bit-identically.
+    ///
+    /// Horner runs structure-of-arrays — each coefficient is applied to a
+    /// lane of accumulators before the next coefficient loads — so the
+    /// `F_{2^61-1}` multiply-add is straight-line per lane and
+    /// autovectorizable; the tail shorter than a lane falls back to the
+    /// scalar recurrence (identical arithmetic either way).
+    pub fn eval_batch(&self, xs: &[u64], out: &mut [u64]) {
+        debug_assert_eq!(xs.len(), out.len());
+        // Degree ≤ 1: the Horner chain is a single multiply-add, already
+        // at full instruction-level parallelism across iterations — lane
+        // staging would only add buffer traffic.
+        if self.coeffs.len() <= 2 {
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = self.eval(x);
+            }
+            return;
+        }
+        let mut xs_it = xs.chunks_exact(MIX_LANES);
+        let mut out_it = out.chunks_exact_mut(MIX_LANES);
+        for (xch, och) in (&mut xs_it).zip(&mut out_it) {
+            let mut xm = [0u64; MIX_LANES];
+            for l in 0..MIX_LANES {
+                xm[l] = xch[l] % MERSENNE_P;
+            }
+            let mut acc = [0u64; MIX_LANES];
+            for &c in self.coeffs.iter().rev() {
+                for l in 0..MIX_LANES {
+                    acc[l] = addmod(mulmod(acc[l], xm[l]), c);
+                }
+            }
+            for l in 0..MIX_LANES {
+                och[l] = ((acc[l] as u128 * self.range as u128) >> 61) as u64;
+            }
+        }
+        for (&x, o) in xs_it.remainder().iter().zip(out_it.into_remainder()) {
+            *o = self.eval(x);
+        }
     }
 }
 
@@ -235,6 +288,24 @@ mod tests {
         let chi = bucket_chi_square(&h, 8000, 8);
         // dof = 7; chi-square should be far below catastrophic values.
         assert!(chi < 60.0, "chi={chi}");
+    }
+
+    #[test]
+    fn eval_batch_matches_scalar_all_k_and_lane_boundaries() {
+        for k in 1..=4u32 {
+            let fam = KWiseFamily::new(k, 1000);
+            let h = fam.member(0x1234_5678 ^ k as u64);
+            for len in [0usize, 1, MIX_LANES - 1, MIX_LANES, MIX_LANES + 1, 45] {
+                let xs: Vec<u64> = (0..len as u64)
+                    .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .collect();
+                let mut out = vec![0u64; len];
+                h.eval_batch(&xs, &mut out);
+                for (i, &x) in xs.iter().enumerate() {
+                    assert_eq!(out[i], h.eval(x), "k={k} len={len} lane={i}");
+                }
+            }
+        }
     }
 
     #[test]

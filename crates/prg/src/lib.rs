@@ -29,4 +29,6 @@ pub mod seed_search;
 
 pub use hashing::{KWiseFamily, PairwiseHash};
 pub use prg::{ChunkAssignment, Prg, PrgTape};
-pub use seed_search::{select_seed, select_seed_with, SeedSelection, SeedStrategy};
+pub use seed_search::{
+    select_seed, select_seed_blocks, select_seed_with, SeedSelection, SeedStrategy, SEED_BLOCK,
+};

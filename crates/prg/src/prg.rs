@@ -52,6 +52,44 @@ impl Prg {
         let b = splitmix64(a ^ chunk.wrapping_mul(0x2545_F491_4F6C_DD1D));
         splitmix64(b ^ (idx as u64).wrapping_mul(0x9E6C_63D0_876A_368B))
     }
+
+    /// Batched [`Prg::word`] over a chunk assignment: for a stripe of
+    /// nodes, `out[i] = word(seed, chunks.chunk_of(nodes[i]), idx)`.
+    ///
+    /// The seed round and the idx product are hoisted once per stripe;
+    /// what remains per lane is the chunk lookup plus two splitmix rounds
+    /// of straight-line arithmetic the compiler can autovectorize.
+    /// Bit-identical to the scalar path by construction (same rounds,
+    /// same constants).
+    pub fn fill_words(
+        &self,
+        seed: u64,
+        chunks: &ChunkAssignment,
+        nodes: &[u32],
+        idx: u32,
+        out: &mut [u64],
+    ) {
+        debug_assert!(seed < self.seed_space());
+        debug_assert_eq!(nodes.len(), out.len());
+        let a = splitmix64(seed ^ 0xD1B5_4A32_D192_ED03);
+        let im = (idx as u64).wrapping_mul(0x9E6C_63D0_876A_368B);
+        // Resolve the assignment variant once, outside the lane loop.
+        match chunks {
+            ChunkAssignment::PerNode => {
+                for (o, &v) in out.iter_mut().zip(nodes) {
+                    let b = splitmix64(a ^ (v as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+                    *o = splitmix64(b ^ im);
+                }
+            }
+            ChunkAssignment::PowerColoring { colors } => {
+                for (o, &v) in out.iter_mut().zip(nodes) {
+                    let c = colors[v as usize] as u64;
+                    let b = splitmix64(a ^ c.wrapping_mul(0x2545_F491_4F6C_DD1D));
+                    *o = splitmix64(b ^ im);
+                }
+            }
+        }
+    }
 }
 
 /// Node → PRG-chunk assignment.
@@ -93,6 +131,24 @@ impl ChunkAssignment {
     }
 }
 
+impl Prg {
+    /// Tapes for one seed block: `tapes[i]` reads seed `seed0 + i`.  Pad
+    /// lanes past the end of the seed space are clamped to the last valid
+    /// seed — a block evaluator only reads lanes `0..costs.len()`, so the
+    /// clamped tapes are never consulted; the clamp exists solely to keep
+    /// the construction in range.  This is the one place that invariant
+    /// lives: every `select_seed_blocks` call site should build its tapes
+    /// here.
+    pub fn block_tapes<'a>(
+        &self,
+        seed0: u64,
+        chunks: &'a ChunkAssignment,
+    ) -> [PrgTape<'a>; crate::seed_search::SEED_BLOCK] {
+        let last = self.seed_space() - 1;
+        std::array::from_fn(|i| PrgTape::new(*self, (seed0 + i as u64).min(last), chunks))
+    }
+}
+
 /// A [`Randomness`] tape backed by a PRG seed and a chunk assignment —
 /// the object that gets substituted for true randomness when a normal
 /// distributed procedure is simulated under a candidate seed (Lemma 10).
@@ -122,6 +178,29 @@ impl Randomness for PrgTape<'_> {
         let chunk = self.chunks.chunk_of(node);
         self.prg
             .word(self.seed, chunk, (splitmix64(stream) as u32) ^ idx)
+    }
+
+    /// Batched plane: the stream mix and the seed round are computed once
+    /// per stripe (the scalar path re-derives both per call), then
+    /// [`Prg::fill_words`] runs the remaining two rounds over lanes.
+    fn fill_words(&self, stream: u64, nodes: &[u32], idx: u32, out: &mut [u64]) {
+        let eff = (splitmix64(stream) as u32) ^ idx;
+        self.prg.fill_words(self.seed, self.chunks, nodes, eff, out);
+    }
+
+    /// Idx-stripe along one node's chunk: seed, chunk and stream rounds
+    /// hoisted, one splitmix round per output word.  The effective index
+    /// is `splitmix64(stream) ^ (idx0 + i)` — identical to what the
+    /// scalar [`Randomness::word`] computes per call.
+    fn fill_words_seq(&self, node: u32, stream: u64, idx0: u32, out: &mut [u64]) {
+        let s = splitmix64(stream) as u32;
+        let chunk = self.chunks.chunk_of(node);
+        let a = splitmix64(self.seed ^ 0xD1B5_4A32_D192_ED03);
+        let b = splitmix64(a ^ chunk.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        for (i, o) in out.iter_mut().enumerate() {
+            let idx = s ^ idx0.wrapping_add(i as u32);
+            *o = splitmix64(b ^ (idx as u64).wrapping_mul(0x9E6C_63D0_876A_368B));
+        }
     }
 }
 
@@ -201,6 +280,41 @@ mod tests {
         }
         let avg = ones as f64 / 500.0;
         assert!((avg - 32.0).abs() < 1.5, "avg bit weight {avg}");
+    }
+
+    #[test]
+    fn batched_tape_matches_scalar_for_both_assignments() {
+        let prg = Prg::new(12);
+        let per_node = ChunkAssignment::PerNode;
+        let coloring = ChunkAssignment::PowerColoring {
+            colors: (0..64u32).map(|v| v % 7).collect(),
+        };
+        for chunks in [&per_node, &coloring] {
+            let tape = PrgTape::new(prg, 777, chunks);
+            let nodes: Vec<u32> = (0..37u32).map(|i| i % 64).collect();
+            let mut got = vec![0u64; nodes.len()];
+            tape.fill_words(5, &nodes, 2, &mut got);
+            for (i, &v) in nodes.iter().enumerate() {
+                assert_eq!(got[i], tape.word(v, 5, 2), "node {v}");
+            }
+            let mut seq = vec![0u64; 19];
+            tape.fill_words_seq(9, 5, 100, &mut seq);
+            for (i, &w) in seq.iter().enumerate() {
+                assert_eq!(w, tape.word(9, 5, 100 + i as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn prg_fill_words_matches_word() {
+        let prg = Prg::new(8);
+        let chunks = ChunkAssignment::PerNode;
+        let nodes: Vec<u32> = (0..17).collect();
+        let mut out = vec![0u64; 17];
+        prg.fill_words(3, &chunks, &nodes, 42, &mut out);
+        for (i, &v) in nodes.iter().enumerate() {
+            assert_eq!(out[i], prg.word(3, v as u64, 42));
+        }
     }
 
     #[test]

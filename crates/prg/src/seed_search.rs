@@ -47,6 +47,16 @@
 use rayon::prelude::*;
 use serde::Serialize;
 
+/// Width of one seed block: [`select_seed_blocks`] hands its evaluator up
+/// to this many **contiguous** seeds at a time, so cost functions can
+/// amortize shared work (graph scans, plane fills) across the block's
+/// seed lanes.  Sized to one AVX2 register of `u32` picks — and capped at
+/// 8 by the `u8` lane bitmasks block evaluators accumulate clash bits in
+/// (widen those before raising this).  Evaluators may rely on block
+/// lengths never exceeding this.
+pub const SEED_BLOCK: usize = 8;
+const _: () = assert!(SEED_BLOCK <= u8::BITS as usize, "lane masks are u8");
+
 /// Strategy for choosing a PRG seed deterministically.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub enum SeedStrategy {
@@ -149,25 +159,66 @@ where
     M: Fn() -> S + Sync,
     F: Fn(u64, &mut S) -> f64 + Sync,
 {
+    // The scalar evaluator is a degenerate block evaluator.
+    select_seed_blocks(
+        seed_bits,
+        strategy,
+        make_scratch,
+        |seed0, costs, scratch| {
+            for (i, c) in costs.iter_mut().enumerate() {
+                *c = eval(seed0 + i as u64, scratch);
+            }
+        },
+    )
+}
+
+/// [`select_seed_with`] with a **block** evaluator — the batched
+/// randomness-plane form of the seed search.
+///
+/// `eval_block(seed0, costs, scratch)` must write
+/// `costs[i] = cost(seed0 + i)` for every `i < costs.len()`; blocks are
+/// contiguous, at most [`SEED_BLOCK`] long, and handed out in ascending
+/// order within each worker's chunk.  Because each cost must be a pure
+/// function of its own seed, block grouping (and hence worker count) can
+/// never change the outcome; the selection is field-for-field identical
+/// to [`select_seed`] for integer-valued costs.
+///
+/// The block form is what lets evaluators amortize per-seed fixed costs:
+/// a procedure can materialize the pick plane of all the block's seeds
+/// (structure-of-arrays, one `u32` lane per seed) and run its clash scan
+/// once over the graph with lane-parallel compares, instead of once per
+/// seed.
+pub fn select_seed_blocks<S, M, F>(
+    seed_bits: u32,
+    strategy: SeedStrategy,
+    make_scratch: M,
+    eval_block: F,
+) -> SeedSelection
+where
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(u64, &mut [f64], &mut S) + Sync,
+{
     assert!((1..=24).contains(&seed_bits));
     let space = 1u64 << seed_bits;
     match strategy {
         SeedStrategy::SingleSeed(seed) => {
             assert!(seed < space, "seed {seed} outside 2^{seed_bits} space");
             let mut scratch = make_scratch();
-            let c = eval(seed, &mut scratch);
+            let mut c = [0.0f64];
+            eval_block(seed, &mut c, &mut scratch);
             SeedSelection {
                 seed,
-                cost: c,
-                mean_cost: c,
-                min_cost: c,
+                cost: c[0],
+                mean_cost: c[0],
+                min_cost: c[0],
                 evaluated: 1,
                 trace: Vec::new(),
             }
         }
         SeedStrategy::FixedSubset(k) => {
             let k = k.clamp(1, space);
-            let fold = fold_seed_range(0, k, &make_scratch, &eval);
+            let fold = fold_seed_range(0, k, &make_scratch, &eval_block);
             SeedSelection {
                 seed: fold.argmin,
                 cost: fold.min,
@@ -178,7 +229,7 @@ where
             }
         }
         SeedStrategy::Exhaustive => {
-            let fold = fold_seed_range(0, space, &make_scratch, &eval);
+            let fold = fold_seed_range(0, space, &make_scratch, &eval_block);
             SeedSelection {
                 seed: fold.argmin,
                 cost: fold.min,
@@ -188,7 +239,9 @@ where
                 trace: Vec::new(),
             }
         }
-        SeedStrategy::BitwiseCondExp => streaming_bitwise_walk(seed_bits, &make_scratch, &eval),
+        SeedStrategy::BitwiseCondExp => {
+            streaming_bitwise_walk(seed_bits, &make_scratch, &eval_block)
+        }
     }
 }
 
@@ -200,28 +253,31 @@ struct RangeFold {
     argmin: u64,
 }
 
-/// Fold `eval` over seeds `start..start + len`, parallel over contiguous
-/// chunks.  Chunk results merge in ascending-seed order, so the outcome
-/// (including tie-breaks toward the lowest seed) is identical for any
-/// worker count; sums are exact whenever costs are integer-valued.
-fn fold_seed_range<S, M, F>(start: u64, len: u64, make_scratch: &M, eval: &F) -> RangeFold
+/// Fold a block evaluator over seeds `start..start + len`, parallel over
+/// contiguous chunks.  Chunk results merge in ascending-seed order, so
+/// the outcome (including tie-breaks toward the lowest seed) is identical
+/// for any worker count; sums are exact whenever costs are integer-valued.
+fn fold_seed_range<S, M, F>(start: u64, len: u64, make_scratch: &M, eval_block: &F) -> RangeFold
 where
     S: Send,
     M: Fn() -> S + Sync,
-    F: Fn(u64, &mut S) -> f64 + Sync,
+    F: Fn(u64, &mut [f64], &mut S) + Sync,
 {
     let mut pool: Vec<S> = (0..seed_workers(len)).map(|_| make_scratch()).collect();
-    fold_seed_range_in(&mut pool, start, len, eval)
+    fold_seed_range_in(&mut pool, start, len, eval_block)
 }
 
-/// Fold `eval` over seeds `start..start + len` with one scratch per worker
-/// taken from `pool` (worker count = `pool.len()`), so callers issuing
-/// many folds (the streaming bitwise walk) construct arenas once and reuse
-/// them across folds instead of re-zeroing O(n) memory per half-space.
-fn fold_seed_range_in<S, F>(pool: &mut [S], start: u64, len: u64, eval: &F) -> RangeFold
+/// Fold a block evaluator over seeds `start..start + len` with one
+/// scratch per worker taken from `pool` (worker count = `pool.len()`), so
+/// callers issuing many folds (the streaming bitwise walk) construct
+/// arenas once and reuse them across folds instead of re-zeroing O(n)
+/// memory per half-space.  Each worker walks its chunk in [`SEED_BLOCK`]
+/// strides and accumulates the block's costs in ascending seed order —
+/// block grouping is invisible in the result.
+fn fold_seed_range_in<S, F>(pool: &mut [S], start: u64, len: u64, eval_block: &F) -> RangeFold
 where
     S: Send,
-    F: Fn(u64, &mut S) -> f64 + Sync,
+    F: Fn(u64, &mut [f64], &mut S) + Sync,
 {
     debug_assert!(len > 0 && !pool.is_empty());
     let workers = pool.len();
@@ -231,13 +287,21 @@ where
             min: f64::INFINITY,
             argmin: from,
         };
-        for seed in from..from + count {
-            let c = eval(seed, scratch);
-            acc.sum += c;
-            if c < acc.min {
-                acc.min = c;
-                acc.argmin = seed;
+        let mut costs = [0.0f64; SEED_BLOCK];
+        let mut seed = from;
+        let end = from + count;
+        while seed < end {
+            let blen = ((end - seed) as usize).min(SEED_BLOCK);
+            let block = &mut costs[..blen];
+            eval_block(seed, block, scratch);
+            for (i, &c) in block.iter().enumerate() {
+                acc.sum += c;
+                if c < acc.min {
+                    acc.min = c;
+                    acc.argmin = seed + i as u64;
+                }
             }
+            seed += blen as u64;
         }
         acc
     };
@@ -293,11 +357,15 @@ fn seed_workers(len: u64) -> usize {
 /// trade against the table walk, and the form that maps onto one MPC
 /// converge-cast per bit).  `mean_cost`/`min_cost` come from the first
 /// level, whose two folds jointly cover the entire space.
-fn streaming_bitwise_walk<S, M, F>(seed_bits: u32, make_scratch: &M, eval: &F) -> SeedSelection
+fn streaming_bitwise_walk<S, M, F>(
+    seed_bits: u32,
+    make_scratch: &M,
+    eval_block: &F,
+) -> SeedSelection
 where
     S: Send,
     M: Fn() -> S + Sync,
-    F: Fn(u64, &mut S) -> f64 + Sync,
+    F: Fn(u64, &mut [f64], &mut S) + Sync,
 {
     let space = 1u64 << seed_bits;
     // One scratch pool for the whole walk, sized for the widest level —
@@ -315,8 +383,8 @@ where
         let bit = seed_bits - 1 - fixed; // position being fixed this step
         let block = 1u64 << bit; // size of each half under the prefix
         let w = seed_workers(block).min(pool.len());
-        let f0 = fold_seed_range_in(&mut pool[..w], prefix, block, eval);
-        let f1 = fold_seed_range_in(&mut pool[..w], prefix | block, block, eval);
+        let f0 = fold_seed_range_in(&mut pool[..w], prefix, block, eval_block);
+        let f1 = fold_seed_range_in(&mut pool[..w], prefix | block, block, eval_block);
         if fixed == 0 {
             mean = (f0.sum + f1.sum) / space as f64;
             min = f0.min.min(f1.min);
@@ -328,10 +396,11 @@ where
             prefix |= block;
         }
     }
-    let chosen_cost = eval(prefix, &mut pool[0]);
+    let mut chosen = [0.0f64];
+    eval_block(prefix, &mut chosen, &mut pool[0]);
     SeedSelection {
         seed: prefix,
-        cost: chosen_cost,
+        cost: chosen[0],
         mean_cost: mean,
         min_cost: min,
         evaluated: space,
@@ -498,14 +567,50 @@ mod tests {
     /// process, so mutating the environment would race other tests.
     #[test]
     fn fold_is_worker_count_invariant() {
-        let cost = |s: u64, _: &mut ()| ((s ^ 0x2F) % 13) as f64;
-        let reference = fold_seed_range_in(&mut [()], 0, 1 << 10, &cost);
+        let eval_block = |s0: u64, out: &mut [f64], _: &mut ()| {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = (((s0 + i as u64) ^ 0x2F) % 13) as f64;
+            }
+        };
+        let reference = fold_seed_range_in(&mut [()], 0, 1 << 10, &eval_block);
         for workers in [2usize, 3, 5, 8] {
             let mut pool = vec![(); workers];
-            let f = fold_seed_range_in(&mut pool, 0, 1 << 10, &cost);
+            let f = fold_seed_range_in(&mut pool, 0, 1 << 10, &eval_block);
             assert_eq!(f.argmin, reference.argmin, "workers = {workers}");
             assert_eq!(f.sum, reference.sum, "workers = {workers}");
             assert_eq!(f.min, reference.min, "workers = {workers}");
+        }
+    }
+
+    /// A true block evaluator — writing the whole block at once — must be
+    /// indistinguishable from the reference scalar path for every
+    /// strategy, including block lengths that don't divide the range.
+    #[test]
+    fn select_seed_blocks_matches_reference() {
+        let cost = |s: u64| ((s * 37 + 11) % 19) as f64;
+        for strategy in [
+            SeedStrategy::Exhaustive,
+            SeedStrategy::BitwiseCondExp,
+            SeedStrategy::FixedSubset(23),
+            SeedStrategy::SingleSeed(5),
+        ] {
+            let old = select_seed(8, strategy, cost);
+            let new = select_seed_blocks(
+                8,
+                strategy,
+                || (),
+                |s0, out: &mut [f64], _| {
+                    assert!(out.len() <= SEED_BLOCK);
+                    for (i, o) in out.iter_mut().enumerate() {
+                        *o = cost(s0 + i as u64);
+                    }
+                },
+            );
+            assert_eq!(old.seed, new.seed, "{strategy:?}");
+            assert_eq!(old.cost, new.cost, "{strategy:?}");
+            assert_eq!(old.mean_cost, new.mean_cost, "{strategy:?}");
+            assert_eq!(old.min_cost, new.min_cost, "{strategy:?}");
+            assert_eq!(old.trace, new.trace, "{strategy:?}");
         }
     }
 

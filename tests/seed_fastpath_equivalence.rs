@@ -18,8 +18,10 @@ use parcolor_core::hknt::procs::{
 use parcolor_core::instance::{ColoringState, D1lcInstance};
 use parcolor_core::{Graph, NodeId};
 use parcolor_graphgen::gnm;
+use parcolor_local::tape::{ForceScalar, Randomness};
 use parcolor_prg::{
-    select_seed, select_seed_with, ChunkAssignment, Prg, PrgTape, SeedSelection, SeedStrategy,
+    select_seed, select_seed_blocks, select_seed_with, ChunkAssignment, Prg, PrgTape,
+    SeedSelection, SeedStrategy, SEED_BLOCK,
 };
 
 const SEED_BITS: u32 = 6;
@@ -77,6 +79,41 @@ fn check_equivalence(proc: &dyn NormalProcedure, state: &ColoringState, ctx: &st
             },
         );
         assert_selection_eq(&old, &fused, &format!("{ctx} / {strategy:?} (fused)"));
+
+        // And with batching forced off at the tape level: the PickPlane
+        // consuming the scalar trait defaults must reproduce the lane
+        // mixers word-for-word, hence the identical selection.
+        let scalar_forced = select_seed_with(
+            SEED_BITS,
+            strategy,
+            || SimScratch::new(state.n()),
+            |seed, scratch| {
+                let tape = ForceScalar(PrgTape::new(prg, seed, &chunks));
+                proc.seed_cost_fused(state, &tape, scratch)
+            },
+        );
+        assert_selection_eq(
+            &old,
+            &scalar_forced,
+            &format!("{ctx} / {strategy:?} (forced scalar)"),
+        );
+
+        // The seed-lane block evaluation (what Runner::run_step actually
+        // drives): up to SEED_BLOCK seeds per call through
+        // `seed_cost_block`, which hot procedures override with the
+        // structure-of-arrays plane and a shared clash scan.
+        let blocked = select_seed_blocks(
+            SEED_BITS,
+            strategy,
+            || SimScratch::new(state.n()),
+            |seed0, costs, scratch| {
+                let tapes = prg.block_tapes(seed0, &chunks);
+                let refs: [&dyn Randomness; SEED_BLOCK] =
+                    std::array::from_fn(|i| &tapes[i] as &dyn Randomness);
+                proc.seed_cost_block(state, &refs[..costs.len()], scratch, costs);
+            },
+        );
+        assert_selection_eq(&old, &blocked, &format!("{ctx} / {strategy:?} (block)"));
 
         // Outcome equivalence under the chosen seed.
         let tape = PrgTape::new(prg, old.seed, &chunks);
