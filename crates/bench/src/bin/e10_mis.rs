@@ -2,7 +2,9 @@
 //! the same PRG + conditional-expectations stack as coloring.
 
 use parcolor_bench::{f2, s, scaled, timed, Table};
-use parcolor_core::mis::{derandomized_luby_mis, luby_mis, verify_mis};
+use parcolor_core::mis::{
+    derandomized_luby_mis, derandomized_luby_mis_sharded, luby_mis, verify_mis,
+};
 use parcolor_core::SeedStrategy;
 use parcolor_graphgen::{gnm, power_law, torus};
 
@@ -62,5 +64,15 @@ fn main() {
         "(exhaustive mean-vs-chosen on round 1: {:.2} vs {:.0})",
         a.guarantee_checks[0].1, a.guarantee_checks[0].0
     );
+    // Sharded seed search must be invisible in the output.  The baseline
+    // pins the serial (workers = 1) fold explicitly — `a` above runs with
+    // auto workers, which is all host threads on a multi-core box.
+    let w1 = derandomized_luby_mis_sharded(&g, 7, SeedStrategy::Exhaustive, 10_000, 1);
+    assert_eq!(a.in_mis, w1.in_mis, "workers = 1 changed the MIS");
+    for workers in [2usize, 4] {
+        let w = derandomized_luby_mis_sharded(&g, 7, SeedStrategy::Exhaustive, 10_000, workers);
+        assert_eq!(w1.in_mis, w.in_mis, "workers = {workers} changed the MIS");
+    }
+    println!("Worker-sharding check: identical MIS at workers ∈ {{1, 2, 4}} ✓");
     let _ = f2(0.0);
 }

@@ -17,15 +17,16 @@
 
 use parcolor_bench::{f1, f2, s, scaled, timed, Table};
 use parcolor_core::framework::{NormalProcedure, SimScratch};
-use parcolor_core::hknt::procs::{SspMode, StageSet, TryRandomColor};
+use parcolor_core::hknt::procs::{GenerateSlack, SspMode, StageSet, TryRandomColor};
 use parcolor_core::instance::ColoringState;
+use parcolor_core::mis::luby_round_seed_search;
 use parcolor_core::{D1lcInstance, NodeId};
 use parcolor_graphgen::gnm;
 use parcolor_local::tape::{ForceScalar, Randomness};
 use parcolor_prg::hashing::KWiseFamily;
 use parcolor_prg::{
-    select_seed, select_seed_blocks, select_seed_with, ChunkAssignment, Prg, PrgTape, SeedStrategy,
-    SEED_BLOCK,
+    select_seed, select_seed_blocks, select_seed_blocks_n, select_seed_with, ChunkAssignment, Prg,
+    PrgTape, SeedStrategy, SEED_BLOCK,
 };
 
 /// The `PARCOLOR_TAPE_MODE` setting: batch plane on or forced scalar.
@@ -104,14 +105,204 @@ fn main() {
     // rather than duplicating the expensive seed_bits = 16 searches; the
     // batched-mode (default) run writes both BENCH_*.json artifacts.
     if mode != "scalar" {
-        fastpath_comparison();
+        let fastpath_rows = fastpath_comparison();
+        let block_rows = block_proc_comparison();
+        let worker_rows = workers_matrix();
+        write_seed_search_json(&fastpath_rows, &block_rows, &worker_rows);
         hash_batch_comparison();
     }
 }
 
+/// Seed-lane block evaluation vs the per-seed fused fallback for the
+/// procedures the PR 4 plane did NOT cover: `GenerateSlack`'s
+/// slack-target scan and Luby MIS's undominated scan.  One worker, so
+/// the measured ratio is pure per-seed-eval speedup.
+fn block_proc_comparison() -> Vec<String> {
+    let seed_bits = 14u32;
+    let n = scaled(2_000, 256);
+    let g = gnm(n, n * 4, 7);
+    let inst = D1lcInstance::delta_plus_one(g.clone());
+    let state = ColoringState::new(&inst);
+    let prg = Prg::new(seed_bits);
+    let chunks = ChunkAssignment::PerNode;
+    println!(
+        "\n# Slack-plane block evaluation vs per-seed fallback \
+         (seed_bits = {seed_bits}, n = {n}, m = {}, 1 worker)",
+        g.m()
+    );
+    let mut t = Table::new(&[
+        "procedure",
+        "per-seed ms",
+        "block ms",
+        "speedup",
+        "same seed",
+    ]);
+    let mut rows = Vec::new();
+
+    // -- GenerateSlack: slack-target SSP, the hottest non-clash cost ---
+    let set = StageSet::new(n, (0..n as NodeId).collect());
+    // Demanding targets (≈ the initial slack of a mid-degree node) so
+    // costs are non-trivial and the block-vs-fallback assert below
+    // compares real failure counts, not a degenerate all-zero space.
+    let targets = vec![g.max_degree() as f64 * 0.6; n];
+    let proc = GenerateSlack::new(&g, set, 0.2, targets, 3);
+    let (scalar_sel, scalar_ms) = timed(|| {
+        select_seed_blocks_n(
+            seed_bits,
+            SeedStrategy::Exhaustive,
+            1,
+            || SimScratch::new(n),
+            |seed0, costs, scratch| {
+                // The PR 4 regime: the default per-seed fused loop.
+                for (i, c) in costs.iter_mut().enumerate() {
+                    let tape = PrgTape::new(prg, seed0 + i as u64, &chunks);
+                    *c = proc.seed_cost_fused(&state, &tape, scratch);
+                }
+            },
+        )
+    });
+    let (block_sel, block_ms) = timed(|| {
+        select_seed_blocks_n(
+            seed_bits,
+            SeedStrategy::Exhaustive,
+            1,
+            || SimScratch::new(n),
+            |seed0, costs, scratch| {
+                let tapes = prg.block_tapes(seed0, &chunks);
+                let refs: [&dyn Randomness; SEED_BLOCK] =
+                    std::array::from_fn(|i| &tapes[i] as &dyn Randomness);
+                proc.seed_cost_block(&state, &refs[..costs.len()], scratch, costs);
+            },
+        )
+    });
+    let same = scalar_sel.seed == block_sel.seed && scalar_sel.cost == block_sel.cost;
+    assert!(
+        same,
+        "GenerateSlack: block path diverged from per-seed path"
+    );
+    let speedup = scalar_ms / block_ms.max(1e-9);
+    t.row(&[
+        s("GenerateSlack"),
+        f1(scalar_ms),
+        f1(block_ms),
+        f2(speedup),
+        s(same),
+    ]);
+    rows.push(format!(
+        "    {{\"procedure\": \"GenerateSlack\", \"per_seed_ms\": {scalar_ms:.1}, \
+         \"block_ms\": {block_ms:.1}, \"per_eval_speedup\": {speedup:.2}, \
+         \"chosen_seed\": {}, \"chosen_cost\": {}}}",
+        block_sel.seed, block_sel.cost
+    ));
+
+    // -- Luby MIS: undominated scan over the priority plane ------------
+    let (mis_scalar, mis_scalar_ms) =
+        timed(|| luby_round_seed_search(&g, seed_bits, SeedStrategy::Exhaustive, 1, false));
+    let (mis_block, mis_block_ms) =
+        timed(|| luby_round_seed_search(&g, seed_bits, SeedStrategy::Exhaustive, 1, true));
+    let same = mis_scalar.seed == mis_block.seed && mis_scalar.cost == mis_block.cost;
+    assert!(same, "Luby MIS: block path diverged from per-seed path");
+    let speedup = mis_scalar_ms / mis_block_ms.max(1e-9);
+    t.row(&[
+        s("Luby MIS"),
+        f1(mis_scalar_ms),
+        f1(mis_block_ms),
+        f2(speedup),
+        s(same),
+    ]);
+    rows.push(format!(
+        "    {{\"procedure\": \"LubyMIS\", \"per_seed_ms\": {mis_scalar_ms:.1}, \
+         \"block_ms\": {mis_block_ms:.1}, \"per_eval_speedup\": {speedup:.2}, \
+         \"chosen_seed\": {}, \"chosen_cost\": {}}}",
+        mis_block.seed, mis_block.cost
+    ));
+    t.print();
+    rows
+}
+
+/// Sharded seed search: the same block search at `workers ∈ {1, 2, 4, 8}`.
+/// The chosen seed/cost MUST be identical at every worker count (the
+/// stolen-block fold is grouping-invariant) — this function asserts it,
+/// which is what fails CI if sharding ever changes a selection.
+fn workers_matrix() -> Vec<String> {
+    let seed_bits = 16u32;
+    let n = scaled(2_000, 256);
+    let g = gnm(n, n * 4, 7);
+    let inst = D1lcInstance::delta_plus_one(g.clone());
+    let state = ColoringState::new(&inst);
+    let set = StageSet::new(n, (0..n as NodeId).collect());
+    let proc = TryRandomColor::new(&g, set, SspMode::Colored, 1);
+    let prg = Prg::new(seed_bits);
+    let chunks = ChunkAssignment::PerNode;
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "\n# Sharded seed search, workers matrix (seed_bits = {seed_bits}, n = {n}, \
+         m = {}, host threads = {host_threads})",
+        g.m()
+    );
+    let mut t = Table::new(&["workers", "ms", "speedup vs 1", "chosen seed", "cost"]);
+    let mut rows = Vec::new();
+    let mut base_ms = 0.0f64;
+    let mut reference: Option<(u64, f64)> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let (sel, ms) = timed(|| {
+            select_seed_blocks_n(
+                seed_bits,
+                SeedStrategy::Exhaustive,
+                workers,
+                || SimScratch::new(n),
+                |seed0, costs, scratch| {
+                    let tapes = prg.block_tapes(seed0, &chunks);
+                    let refs: [&dyn Randomness; SEED_BLOCK] =
+                        std::array::from_fn(|i| &tapes[i] as &dyn Randomness);
+                    proc.seed_cost_block(&state, &refs[..costs.len()], scratch, costs);
+                },
+            )
+        });
+        match reference {
+            None => {
+                base_ms = ms;
+                reference = Some((sel.seed, sel.cost));
+            }
+            Some((seed, cost)) => {
+                assert_eq!(
+                    (seed, cost),
+                    (sel.seed, sel.cost),
+                    "workers = {workers}: sharded seed search changed the selection"
+                );
+            }
+        }
+        let scaling = base_ms / ms.max(1e-9);
+        t.row(&[s(workers), f1(ms), f2(scaling), s(sel.seed), f1(sel.cost)]);
+        rows.push(format!(
+            "    {{\"workers\": {workers}, \"ms\": {ms:.1}, \"speedup_vs_1\": {scaling:.2}, \
+             \"chosen_seed\": {}, \"chosen_cost\": {}, \"host_threads\": {host_threads}}}",
+            sel.seed, sel.cost
+        ));
+    }
+    t.print();
+    println!("\nIdentical chosen seed/cost at every worker count (asserted).");
+    rows
+}
+
+fn write_seed_search_json(fastpath: &[String], blocks: &[String], workers: &[String]) {
+    let json = format!(
+        "{{\n  \"experiment\": \"e6_seed_search_fastpath\",\n  \"rows\": [\n{}\n  ],\n  \
+         \"block_procs\": [\n{}\n  ],\n  \"workers_matrix\": [\n{}\n  ]\n}}\n",
+        fastpath.join(",\n"),
+        blocks.join(",\n"),
+        workers.join(",\n")
+    );
+    match std::fs::write("BENCH_seed_search.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_seed_search.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_seed_search.json: {e}"),
+    }
+}
+
 /// Reference vs fast path at `seed_bits = 16` — the derandomizer's hot
-/// loop at full production seed length.  Emits `BENCH_seed_search.json`.
-fn fastpath_comparison() {
+/// loop at full production seed length.  Returns JSON rows for
+/// `BENCH_seed_search.json`.
+fn fastpath_comparison() -> Vec<String> {
     let seed_bits = 16u32;
     let n = scaled(2_000, 256);
     let g = gnm(n, n * 4, 7);
@@ -171,26 +362,19 @@ fn fastpath_comparison() {
         let per_eval = (old_ms / ref_evals as f64) / (new_ms / fast_evals as f64).max(1e-12);
         t.row(&[s(name), f1(old_ms), f1(new_ms), f2(speedup), s(same)]);
         rows_json.push(format!(
-            "    {{\"strategy\": \"{name}\", \"reference_ms\": {old_ms:.1}, \
+            "    {{\"strategy\": \"{name}\", \"seed_bits\": {seed_bits}, \"n\": {n}, \
+             \"m\": {}, \"workers\": {workers}, \"reference_ms\": {old_ms:.1}, \
              \"fastpath_ms\": {new_ms:.1}, \"speedup\": {speedup:.2}, \
              \"reference_evals\": {ref_evals}, \"fastpath_evals\": {fast_evals}, \
              \"per_eval_speedup\": {per_eval:.2}, \
              \"chosen_seed\": {}, \"chosen_cost\": {}}}",
-            new_sel.seed, new_sel.cost
+            g.m(),
+            new_sel.seed,
+            new_sel.cost
         ));
     }
     t.print();
-
-    let json = format!(
-        "{{\n  \"experiment\": \"e6_seed_search_fastpath\",\n  \"seed_bits\": {seed_bits},\n  \
-         \"n\": {n},\n  \"m\": {},\n  \"workers\": {workers},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        g.m(),
-        rows_json.join(",\n")
-    );
-    match std::fs::write("BENCH_seed_search.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_seed_search.json"),
-        Err(e) => eprintln!("\ncannot write BENCH_seed_search.json: {e}"),
-    }
+    rows_json
 }
 
 /// Batched randomness plane vs the scalar tape walk — `eval_batch`
@@ -213,23 +397,28 @@ fn hash_batch_comparison() {
         .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .collect();
     let mut out = vec![0u64; keys.len()];
+    let mut out_scalar = vec![0u64; keys.len()];
     let mut t = Table::new(&["hash k", "scalar Mkeys/s", "batched Mkeys/s", "speedup"]);
     let mut hash_rows = Vec::new();
-    for k in [2u32, 8] {
+    for k in [2u32, 4, 8] {
         let h = KWiseFamily::new(k, 1 << 20).member(0xE6);
-        let (acc, scalar_ms) = timed(|| {
-            let mut acc = 0u64;
-            for &x in &keys {
-                acc ^= h.eval(x);
+        // Both legs fill a draw buffer — that is what plane consumers do —
+        // so the comparison isolates the evaluation, not store traffic
+        // (a store-free reduce loop made the old k = 2 row read 0.77×).
+        // One warm-up pass apiece takes page faults out of the timings.
+        for (o, &x) in out_scalar.iter_mut().zip(&keys) {
+            *o = h.eval(x);
+        }
+        h.eval_batch(&keys, &mut out);
+        let (_, scalar_ms) = timed(|| {
+            for (o, &x) in out_scalar.iter_mut().zip(&keys) {
+                *o = h.eval(x);
             }
-            acc
         });
         let (_, batch_ms) = timed(|| h.eval_batch(&keys, &mut out));
         // Keep both legs observable (and cross-check them while at it).
-        for (i, &x) in keys.iter().take(16).enumerate() {
-            assert_eq!(out[i], h.eval(x));
-        }
-        std::hint::black_box(acc);
+        assert_eq!(out, out_scalar);
+        std::hint::black_box(&out_scalar);
         std::hint::black_box(&out);
         let scalar_rate = nkeys as f64 / scalar_ms / 1e3; // M keys/s
         let batch_rate = nkeys as f64 / batch_ms / 1e3;

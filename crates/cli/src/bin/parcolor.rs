@@ -2,10 +2,15 @@
 //!
 //! ```text
 //! parcolor solve  <graph.col> [-o coloring.txt] [--randomized <key>] [--seed-bits B]
+//!                 [--workers W]
 //! parcolor verify <graph.col> <coloring.txt>
 //! parcolor gen    <family> <n> <param> [seed] [-o graph.col]
 //! parcolor stats  <graph.col>
 //! ```
+//!
+//! `--workers` shards the derandomizer's seed search over W threads
+//! (0 = auto); the chosen seeds — and hence the coloring — are identical
+//! at every worker count.
 //!
 //! Families for `gen`: `gnm` (param = m), `gnp` (param = p·1000),
 //! `regular` (param = d), `powerlaw` (param = avg-degree), `ring`,
@@ -19,7 +24,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  parcolor solve  <graph.col> [-o out.txt] [--randomized <key>] [--seed-bits B]\n  parcolor verify <graph.col> <coloring.txt>\n  parcolor gen    <gnm|gnp|regular|powerlaw|ring|torus> <n> <param> [seed] [-o out.col]\n  parcolor stats  <graph.col>"
+        "usage:\n  parcolor solve  <graph.col> [-o out.txt] [--randomized <key>] [--seed-bits B] [--workers W]\n  parcolor verify <graph.col> <coloring.txt>\n  parcolor gen    <gnm|gnp|regular|powerlaw|ring|torus> <n> <param> [seed] [-o out.col]\n  parcolor stats  <graph.col>"
     );
     exit(2)
 }
@@ -59,9 +64,13 @@ fn cmd_solve(args: &[String]) {
     let seed_bits: u32 = flag_value(args, "--seed-bits")
         .map(|s| s.parse().expect("--seed-bits"))
         .unwrap_or(6);
+    let workers: usize = flag_value(args, "--workers")
+        .map(|s| s.parse().expect("--workers"))
+        .unwrap_or(0);
     let params = Params::default()
         .with_seed_bits(seed_bits)
-        .with_strategy(SeedStrategy::FixedSubset(16));
+        .with_strategy(SeedStrategy::FixedSubset(16))
+        .with_seed_workers(workers);
     let sol = match flag_value(args, "--randomized") {
         Some(key) => Solver::randomized(params, key.parse().expect("key")).solve(&inst),
         None => Solver::deterministic(params).solve(&inst),

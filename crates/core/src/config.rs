@@ -46,6 +46,11 @@ pub struct Params {
     pub chunking: ChunkMode,
     /// Locality radius τ of the normal procedures (all of ours are O(1)).
     pub tau: u32,
+    /// Worker threads for the sharded seed search (`0` = auto: the
+    /// `PARCOLOR_SEED_THREADS` env var if set, else all hardware
+    /// threads).  Any value yields the identical chosen seed — the block
+    /// fold is grouping-invariant — so this is purely a throughput knob.
+    pub seed_workers: usize,
 
     // ---- degree thresholds (scaled substitutes for log⁷ n etc.) ----
     /// Low-degree threshold = `low_beta · ln(n)^low_exp`; nodes at or below
@@ -125,6 +130,7 @@ impl Default for Params {
             strategy: SeedStrategy::Exhaustive,
             chunking: ChunkMode::PerNode,
             tau: 1,
+            seed_workers: 0,
             low_beta: 1.5,
             low_exp: 1.2,
             mid_degree_cap: None,
@@ -211,6 +217,12 @@ impl Params {
     /// Set the PRG chunk-assignment mode.
     pub fn with_chunking(mut self, c: ChunkMode) -> Self {
         self.chunking = c;
+        self
+    }
+
+    /// Set the seed-search worker count (`0` = auto).
+    pub fn with_seed_workers(mut self, workers: usize) -> Self {
+        self.seed_workers = workers;
         self
     }
 

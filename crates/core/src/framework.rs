@@ -34,20 +34,30 @@
 //!    (`O(n_active)` tape reads) and resolves clashes with `O(m)` array
 //!    lookups — versus `O(Σ_v d(v))` tape reads for the naïve
 //!    re-evaluate-per-edge formulation of [`NormalProcedure::simulate`].
-//! 3. **Flat seed-parallelism.**  `parcolor_prg::select_seed_with` folds
-//!    the seed space over scoped threads, one scratch per worker; the
-//!    per-seed simulation is sequential.  One level of parallelism, no
-//!    oversubscription, and the fold merges in chunk order so results are
-//!    bit-identical for any worker count.
+//! 3. **Sharded seed-parallelism.**  `parcolor_prg::select_seed_blocks_n`
+//!    folds the seed space over scoped threads, one scratch per worker;
+//!    the per-seed simulation is sequential.  Workers steal `SEED_BLOCK`-
+//!    sized blocks off one shared atomic counter, and the fold merges
+//!    `(sum, min, argmin)` with a lowest-seed tie-break — grouping-
+//!    invariant for the integer SSP costs, so results are bit-identical
+//!    for any worker count and any steal order.
 //! 4. **Batched randomness plane** ([`PickPlane`]).  A procedure's random
 //!    draws are materialized for a whole stripe of active nodes in one
 //!    `Randomness::fill_*` call per stream — the tape's seed/stream mixer
 //!    rounds are hoisted once per stripe and the per-node rounds run in
-//!    autovectorizable lanes — instead of one scalar `word` per node.
-//!    The plane is bit-identical to the scalar tape walk (same mixer
-//!    outputs, same picks, same chosen seeds; see the batch contract in
-//!    `parcolor_local::tape`), so the reference `simulate` path and the
-//!    golden hashes are unchanged.
+//!    explicit four-lane SIMD (`parcolor_local::simd::splitmix4`, AVX2
+//!    when compiled in, identical scalar rounds otherwise) — instead of
+//!    one scalar `word` per node.  The plane is bit-identical to the
+//!    scalar tape walk (same mixer outputs, same picks, same chosen
+//!    seeds; see the batch contract in `parcolor_local::tape`), so the
+//!    reference `simulate` path and the golden hashes are unchanged.
+//! 5. **Seed-lane block evaluation.**  Every procedure overrides
+//!    [`NormalProcedure::seed_cost_block`]: a block of up to `SEED_BLOCK`
+//!    seeds materializes its picks/samples/proposals as one
+//!    structure-of-arrays plane (`PickPlane::soa` + the lane bitmasks),
+//!    and the clash/slack/undominated scans run ONCE over the graph with
+//!    lane-parallel compares, instead of once per seed.  See the block
+//!    contract on [`NormalProcedure::seed_cost_block`].
 //!
 //! Per derandomized step the fast path therefore costs
 //! `O(2^seed_bits · (n_active + m_active) / workers)` with no allocation,
@@ -66,7 +76,7 @@ use parcolor_local::power::power_graph;
 use parcolor_local::tape::{CryptoTape, Randomness};
 use parcolor_mpc::{MpcConfig, NodeMpc};
 use parcolor_prg::{
-    select_seed_blocks, ChunkAssignment, Prg, PrgTape, SeedSelection, SeedStrategy, SEED_BLOCK,
+    select_seed_blocks_n, ChunkAssignment, Prg, PrgTape, SeedSelection, SeedStrategy, SEED_BLOCK,
 };
 use serde::Serialize;
 
@@ -109,6 +119,20 @@ pub struct PickPlane {
     /// dense by node id — clash scans OR into it branchlessly and count
     /// bits per lane afterwards.
     pub lane_mask: Vec<u8>,
+    /// Per-node seed-lane validity bits (bit `s` ⇔ the node holds a draw
+    /// in lane `s`: it was sampled / received a proposal under seed lane
+    /// `s`), dense by node id.  Lane-masked scans AND with both
+    /// endpoints' validity so stale [`PickPlane::soa`] lanes never
+    /// produce phantom clashes.
+    pub valid_mask: Vec<u8>,
+    /// Per-node seed-lane **adoption** bits (bit `s` ⇔ the node adopted
+    /// [`PickPlane::soa`]`[v][s]` under seed lane `s`), dense by node id —
+    /// the block-evaluation analogue of [`SimScratch::adopted_color`],
+    /// consumed by the lane-parallel SSP evaluators.
+    pub adopted_mask: Vec<u8>,
+    /// Per-lane sorted-set buffers for lane-parallel slack evaluation
+    /// (the block analogue of [`SimScratch::taken`]).
+    pub taken_lanes: [Vec<u32>; SEED_BLOCK],
 }
 
 impl PickPlane {
@@ -449,6 +473,32 @@ pub trait NormalProcedure: Sync {
     /// lane.  The default is exactly that loop; hot procedures override
     /// it to materialize the whole block's picks into the seed-lane plane
     /// (`PickPlane::soa`) and amortize their clash scan across lanes.
+    ///
+    /// ## The block contract
+    ///
+    /// An override must guarantee, for every lane `i < costs.len()`:
+    ///
+    /// 1. **Per-lane purity.**  `costs[i]` is a pure function of seed
+    ///    lane `i` alone — exactly the value `seed_cost_fused(state,
+    ///    tapes[i], scratch)` computes, bit-for-bit (costs are integer
+    ///    SSP-failure counts, so "bit-for-bit" is meaningful).  Lanes
+    ///    must not leak into one another: the block fold regroups blocks
+    ///    freely across workers, and `tests/seed_fastpath_equivalence.rs`
+    ///    pins every override to the per-seed fused path.
+    /// 2. **Tape addressing is unchanged.**  Each lane draws through its
+    ///    own tape with the same `(node, stream, idx)` addresses the
+    ///    scalar path uses — materializing lanes into the plane is a
+    ///    layout change, never a randomness change.
+    /// 3. **Stale lanes are masked.**  Dense SoA rows
+    ///    (`PickPlane::soa`) retain garbage from earlier blocks in lanes
+    ///    a node did not draw in; any lane-parallel compare must AND
+    ///    with the validity bits (`PickPlane::valid_mask`) or pad unused
+    ///    lanes with values that cannot collide (e.g. the node's own
+    ///    id across an edge).
+    /// 4. **Short blocks are legal.**  `tapes.len()` may be any length
+    ///    in `1..=SEED_BLOCK` (tail blocks, `SingleSeed`); lanes past
+    ///    `costs.len()` must not be read or written as costs.
+    ///
     /// Block grouping must never change any individual seed's cost.
     fn seed_cost_block(
         &self,
@@ -512,6 +562,9 @@ pub enum Mode {
         strategy: SeedStrategy,
         /// Node → chunk assignment for the PRG output.
         chunks: ChunkAssignment,
+        /// Seed-search worker threads (`0` = auto); any count selects
+        /// the identical seed (the block fold is grouping-invariant).
+        workers: usize,
     },
 }
 
@@ -585,6 +638,7 @@ impl<'g> Runner<'g> {
                 prg: Prg::new(params.seed_bits),
                 strategy: params.strategy,
                 chunks,
+                workers: params.seed_workers,
             },
             engine,
             mpc,
@@ -657,16 +711,19 @@ impl<'g> Runner<'g> {
                 prg,
                 strategy,
                 chunks,
+                workers,
             } => {
                 // Fast path: scratch-buffer simulation, one arena per
                 // seed-search worker, sequential inner simulation, seeds
                 // evaluated in blocks so procedures can amortize their
-                // scans across the block's seed lanes.
+                // scans across the block's seed lanes; blocks are dealt
+                // to workers by atomic stealing (grouping-invariant).
                 let st: &ColoringState = state;
                 let n = st.n();
-                let sel = select_seed_blocks(
+                let sel = select_seed_blocks_n(
                     prg.seed_bits(),
                     *strategy,
+                    *workers,
                     || SimScratch::new(n),
                     |seed0, costs, scratch| {
                         let tapes = prg.block_tapes(seed0, chunks);

@@ -278,13 +278,7 @@ pub fn color_middle(
         let max_deg = g.max_degree().max(2);
         let tolerance = params.ell(max_deg).ceil().max(2.0) as usize;
         let set = StageSet::new(n, all);
-        let proc = SynchColorTrial {
-            g,
-            set,
-            cliques: trial_cliques,
-            tolerance,
-            round_tag: 0x41,
-        };
+        let proc = SynchColorTrial::new(g, set, trial_cliques, tolerance, 0x41);
         runner.run_step(&proc, state);
     }
 

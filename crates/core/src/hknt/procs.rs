@@ -12,9 +12,10 @@
 //!   [`Randomness`] tape, keeping `simulate` a pure function of the seed —
 //!   the property the derandomizer relies on.
 
-use crate::framework::{NormalProcedure, Outcome, SimScratch};
+use crate::framework::{NormalProcedure, Outcome, PickPlane, SimScratch};
 use crate::instance::ColoringState;
 use parcolor_local::graph::{Graph, NodeId};
+use parcolor_local::simd::lane_eq_mask8;
 use parcolor_local::tape::Randomness;
 use parcolor_prg::SEED_BLOCK;
 use rayon::prelude::*;
@@ -288,6 +289,189 @@ fn collect_active_edges(g: &Graph, set: &StageSet) -> Vec<(NodeId, NodeId)> {
 }
 
 // ---------------------------------------------------------------------
+// Lane-parallel SSP evaluation against the seed-lane adoption plane.
+//
+// A block evaluator materializes the whole block's outcome as the plane
+// pair (`PickPlane::soa`, `PickPlane::adopted_mask`): lane `s` of node
+// `v` adopted color `soa[v][s]` iff bit `s` of `adopted_mask[v]` is set.
+// These kernels then compute every lane's seed cost in ONE pass over the
+// relevant nodes/neighborhoods — amortizing the graph traffic that the
+// per-seed fallback pays once per seed — while evaluating, per lane,
+// exactly the formulas of `evaluate_ssp_count` / `uncolored_count_scratch`
+// (same arithmetic, same dedup, same comparisons), so block costs are
+// bit-identical to the fused scalar path.
+// ---------------------------------------------------------------------
+
+/// `costs[s] =` number of active nodes unadopted in lane `s` — the lane
+/// analogue of [`uncolored_count_scratch`] (and of `SspMode::Colored`'s
+/// failure count).
+fn lane_uncolored_costs(set: &StageSet, plane: &PickPlane, lanes: usize, costs: &mut [f64]) {
+    let mut adopted = [0usize; SEED_BLOCK];
+    for &v in &set.active {
+        let am = plane.adopted_mask[v as usize];
+        for (s, a) in adopted.iter_mut().enumerate().take(lanes) {
+            *a += usize::from(am >> s & 1 == 1);
+        }
+    }
+    for (s, c) in costs.iter_mut().enumerate() {
+        *c = (set.active.len() - adopted[s]) as f64;
+    }
+}
+
+/// Lane-parallel slack-failure count: for every lane `s`, `costs[s] = `
+/// number of active nodes `v` with `skip(i) == false`, unadopted in lane
+/// `s`, whose post-outcome slack in lane `s` falls below
+/// `thresh(i, deg_s)` (where `deg_s` is `v`'s count of unadopted active
+/// neighbors in lane `s`) — the lane analogue of [`slack_target_count`] /
+/// the `SlackRatio` arm of [`evaluate_ssp_count`].  Walks each candidate
+/// node's neighborhood ONCE for all lanes, reading adopted colors as
+/// 32-byte SoA rows, with per-lane sorted-set dedup identical to the
+/// scalar path's `taken` buffer.
+#[allow(clippy::too_many_arguments)] // one shared kernel, two threshold shapes
+fn lane_slack_fail_costs(
+    g: &Graph,
+    state: &ColoringState,
+    set: &StageSet,
+    plane: &mut PickPlane,
+    lanes: usize,
+    mut skip: impl FnMut(usize) -> bool,
+    mut thresh: impl FnMut(usize, usize) -> f64,
+    costs: &mut [f64],
+) {
+    let PickPlane {
+        soa,
+        adopted_mask,
+        taken_lanes,
+        ..
+    } = plane;
+    let full: u8 = ((1u16 << lanes) - 1) as u8;
+    let mut fails = [0usize; SEED_BLOCK];
+    for (i, &v) in set.active.iter().enumerate() {
+        if skip(i) {
+            continue;
+        }
+        let need = !adopted_mask[v as usize] & full;
+        if need == 0 {
+            continue; // adopted in every lane ⇒ success everywhere
+        }
+        let pal = state.palette(v);
+        // deg_s = (active neighbors) − (active neighbors adopted in lane
+        // s), so the neighbor loop only touches SET adoption bits —
+        // iterating each mask's population instead of all 8 lanes keeps
+        // the common unadopted-everywhere neighbor at one increment.
+        let mut nbr = 0usize;
+        let mut adopted_nbrs = [0usize; SEED_BLOCK];
+        let mut pal_lost = [0usize; SEED_BLOCK];
+        for t in taken_lanes.iter_mut().take(lanes) {
+            t.clear();
+        }
+        for &u in g.neighbors(v) {
+            if !set.contains(u) {
+                continue;
+            }
+            nbr += 1;
+            let mut amu = adopted_mask[u as usize];
+            if amu == 0 {
+                continue;
+            }
+            let row = &soa[u as usize];
+            while amu != 0 {
+                let s = amu.trailing_zeros() as usize;
+                amu &= amu - 1;
+                adopted_nbrs[s] += 1;
+                let c = row[s];
+                if pal.contains(&c) {
+                    // Distinct colors only, exactly like the scalar
+                    // `taken` dedup: two neighbors adopting the same
+                    // color cost v's palette one entry.
+                    let taken = &mut taken_lanes[s];
+                    if let Err(pos) = taken.binary_search(&c) {
+                        taken.insert(pos, c);
+                        pal_lost[s] += 1;
+                    }
+                }
+            }
+        }
+        for (s, f) in fails.iter_mut().enumerate().take(lanes) {
+            if need >> s & 1 == 1 {
+                let deg = nbr - adopted_nbrs[s];
+                let slack = (pal.len() - pal_lost[s]) as i64 - deg as i64;
+                if (slack as f64) < thresh(i, deg) {
+                    *f += 1;
+                }
+            }
+        }
+    }
+    for (s, c) in costs.iter_mut().enumerate() {
+        *c = fails[s] as f64;
+    }
+}
+
+/// Dispatch a whole block's SSP costs off the adoption plane — one entry
+/// point for every `SspMode`, mirroring the per-seed dispatch in
+/// [`evaluate_ssp_count`] (with `Auto` mapped to the uncolored count,
+/// matching the warm-up `seed_cost` overrides).
+fn lane_ssp_costs(
+    g: &Graph,
+    state: &ColoringState,
+    set: &StageSet,
+    ssp: &SspMode,
+    plane: &mut PickPlane,
+    lanes: usize,
+    costs: &mut [f64],
+) {
+    match ssp {
+        SspMode::Auto | SspMode::Colored => lane_uncolored_costs(set, plane, lanes, costs),
+        SspMode::SlackRatio(ratio) => {
+            let r = *ratio;
+            lane_slack_fail_costs(
+                g,
+                state,
+                set,
+                plane,
+                lanes,
+                |_| false,
+                |_, deg| r * deg as f64,
+                costs,
+            );
+        }
+        SspMode::SlackTarget(targets) => {
+            lane_slack_fail_costs(
+                g,
+                state,
+                set,
+                plane,
+                lanes,
+                |i| targets[i] <= 0.0,
+                |i, _| targets[i],
+                costs,
+            );
+        }
+    }
+}
+
+/// Bit `j` of the result ⇔ `mine[j] ∈ theirs`, for sorted slices with
+/// `mine.len() ≤ 64` — the merge-scan equivalent of the scalar path's
+/// per-candidate binary searches (identical set semantics).
+fn sorted_intersect_mask(mine: &[u32], theirs: &[u32]) -> u64 {
+    debug_assert!(mine.len() <= 64);
+    let mut m = 0u64;
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < mine.len() && b < theirs.len() {
+        match mine[a].cmp(&theirs[b]) {
+            std::cmp::Ordering::Equal => {
+                m |= 1 << a;
+                a += 1;
+                b += 1;
+            }
+            std::cmp::Ordering::Less => a += 1,
+            std::cmp::Ordering::Greater => b += 1,
+        }
+    }
+    m
+}
+
+// ---------------------------------------------------------------------
 // TryRandomColor (Algorithm 3)
 // ---------------------------------------------------------------------
 
@@ -451,12 +635,16 @@ impl NormalProcedure for TryRandomColor<'_> {
     /// Seed-lane block evaluation: the picks of all the block's seeds are
     /// materialized as one structure-of-arrays plane (`soa[v] = [pick
     /// under seed lane 0, …, lane 7]`), then **one** pass over the active
-    /// edge list compares whole lanes at a time — amortizing the clash
-    /// scan's memory traffic across up to `SEED_BLOCK` seeds, where the
-    /// scalar fused path re-walks the edges once per seed.  Unused lanes
-    /// are padded with the node's own id, which can never collide across
-    /// an edge.  Each lane's clashed-node count is exactly what
-    /// `seed_cost_fused` computes for that seed.
+    /// edge list compares whole lanes at a time (AVX2 `cmpeq` on targets
+    /// that have it) — amortizing the clash scan's memory traffic across
+    /// up to `SEED_BLOCK` seeds, where the scalar fused path re-walks the
+    /// edges once per seed.  Unused lanes are padded with the node's own
+    /// id, which can never collide across an edge.
+    ///
+    /// For `Colored`/`Auto` each lane's clashed-node count is the cost
+    /// directly; for the slack SSPs the clash masks become the lane
+    /// adoption plane and the lane-parallel slack kernel evaluates all
+    /// lanes' failure counts in one neighborhood pass per candidate node.
     fn seed_cost_block(
         &self,
         state: &ColoringState,
@@ -465,67 +653,63 @@ impl NormalProcedure for TryRandomColor<'_> {
         costs: &mut [f64],
     ) {
         debug_assert_eq!(tapes.len(), costs.len());
+        scratch.begin();
+        let mut plane = std::mem::take(&mut scratch.plane);
+        // Bounds gathered once for the whole block.
+        let n_active = self.set.active.len();
+        plane.bounds.clear();
+        plane.bounds.extend(
+            self.set
+                .active
+                .iter()
+                .map(|&v| state.palette(v).len() as u64),
+        );
+        plane.soa.resize(state.n(), [0u32; SEED_BLOCK]);
+        // All lanes' draws land in one stripe-major buffer
+        // (lane s at offset s·n_active) …
+        plane.vals.resize(n_active * tapes.len(), 0);
+        let stream = S_PICK ^ self.round_tag << 8;
+        for (s, tape) in tapes.iter().enumerate() {
+            let out = &mut plane.vals[s * n_active..(s + 1) * n_active];
+            tape.fill_below(stream, &self.set.active, 0, &plane.bounds, out);
+        }
+        // … so the pick map resolves each node's palette once and
+        // writes its whole seed-lane row (pad lanes get the node's
+        // own id, which can never collide across an edge).
+        let vals = &plane.vals;
+        let soa = &mut plane.soa;
+        for (i, &v) in self.set.active.iter().enumerate() {
+            let pal = state.palette(v);
+            let lanes = &mut soa[v as usize];
+            for (s, lane) in lanes.iter_mut().take(tapes.len()).enumerate() {
+                *lane = pal[vals[s * n_active + i] as usize];
+            }
+            for lane in lanes.iter_mut().skip(tapes.len()) {
+                *lane = v;
+            }
+        }
+        // One lane-parallel clash scan for the whole block: each
+        // edge contributes a lane-equality bitmask OR-ed into both
+        // endpoints' accumulators — branchless, so the (frequent)
+        // clash case costs the same as the clean case.  Pad lanes
+        // never fire (distinct endpoint ids), so every set bit
+        // belongs to a real seed lane.
+        plane.lane_mask.resize(state.n(), 0);
+        for &v in &self.set.active {
+            plane.lane_mask[v as usize] = 0;
+        }
+        let soa = &plane.soa;
+        let mask = &mut plane.lane_mask;
+        for &(a, b) in self.active_edges() {
+            let eq = lane_eq_mask8(&soa[a as usize], &soa[b as usize]);
+            mask[a as usize] |= eq;
+            mask[b as usize] |= eq;
+        }
         match self.ssp {
+            // For Colored (and the Auto warm-up cost) the failure count
+            // is exactly the per-lane number of clashed nodes, read off
+            // the masks in one pass over the active stripe.
             SspMode::Colored | SspMode::Auto => {
-                scratch.begin();
-                let mut plane = std::mem::take(&mut scratch.plane);
-                // Bounds gathered once for the whole block.
-                let n_active = self.set.active.len();
-                plane.bounds.clear();
-                plane.bounds.extend(
-                    self.set
-                        .active
-                        .iter()
-                        .map(|&v| state.palette(v).len() as u64),
-                );
-                plane.soa.resize(state.n(), [0u32; SEED_BLOCK]);
-                // All lanes' draws land in one stripe-major buffer
-                // (lane s at offset s·n_active) …
-                plane.vals.resize(n_active * tapes.len(), 0);
-                let stream = S_PICK ^ self.round_tag << 8;
-                for (s, tape) in tapes.iter().enumerate() {
-                    let out = &mut plane.vals[s * n_active..(s + 1) * n_active];
-                    tape.fill_below(stream, &self.set.active, 0, &plane.bounds, out);
-                }
-                // … so the pick map resolves each node's palette once and
-                // writes its whole seed-lane row (pad lanes get the node's
-                // own id, which can never collide across an edge).
-                let vals = &plane.vals;
-                let soa = &mut plane.soa;
-                for (i, &v) in self.set.active.iter().enumerate() {
-                    let pal = state.palette(v);
-                    let lanes = &mut soa[v as usize];
-                    for (s, lane) in lanes.iter_mut().take(tapes.len()).enumerate() {
-                        *lane = pal[vals[s * n_active + i] as usize];
-                    }
-                    for lane in lanes.iter_mut().skip(tapes.len()) {
-                        *lane = v;
-                    }
-                }
-                // One lane-parallel clash scan for the whole block: each
-                // edge contributes a lane-equality bitmask OR-ed into both
-                // endpoints' accumulators — branchless, so the (frequent)
-                // clash case costs the same as the clean case — and the
-                // per-lane clashed-node counts are read off the masks in
-                // one pass over the active stripe.
-                plane.lane_mask.resize(state.n(), 0);
-                for &v in &self.set.active {
-                    plane.lane_mask[v as usize] = 0;
-                }
-                let soa = &plane.soa;
-                let mask = &mut plane.lane_mask;
-                for &(a, b) in self.active_edges() {
-                    let pa = &soa[a as usize];
-                    let pb = &soa[b as usize];
-                    let mut eq = 0u8;
-                    for s in 0..SEED_BLOCK {
-                        eq |= u8::from(pa[s] == pb[s]) << s;
-                    }
-                    mask[a as usize] |= eq;
-                    mask[b as usize] |= eq;
-                }
-                // Pad lanes never fire (distinct endpoint ids), so every
-                // set bit belongs to a real seed lane.
                 let mut clashed = [0usize; SEED_BLOCK];
                 for &v in &self.set.active {
                     let m = plane.lane_mask[v as usize];
@@ -535,19 +719,31 @@ impl NormalProcedure for TryRandomColor<'_> {
                         }
                     }
                 }
-                scratch.plane = plane;
                 for (s, c) in costs.iter_mut().enumerate() {
                     *c = clashed[s] as f64;
                 }
             }
-            // Slack-based SSPs read neighbors' adopted colors per seed:
-            // fall back to the per-seed fused path.
+            // Slack-based SSPs: every active node holds a pick, so the
+            // lane adoption plane is just the complement of the clash
+            // mask; the lane-parallel slack kernel does the rest.
             _ => {
-                for (tape, c) in tapes.iter().zip(costs.iter_mut()) {
-                    *c = self.seed_cost_fused(state, *tape, scratch);
+                let full: u8 = ((1u16 << tapes.len()) - 1) as u8;
+                plane.adopted_mask.resize(state.n(), 0);
+                for &v in &self.set.active {
+                    plane.adopted_mask[v as usize] = !plane.lane_mask[v as usize] & full;
                 }
+                lane_ssp_costs(
+                    self.g,
+                    state,
+                    &self.set,
+                    &self.ssp,
+                    &mut plane,
+                    tapes.len(),
+                    costs,
+                );
             }
         }
+        scratch.plane = plane;
     }
 
     fn ssp_failures(&self, state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
@@ -760,6 +956,96 @@ impl NormalProcedure for MultiTrial<'_> {
         }
     }
 
+    /// Seed-lane block evaluation: all lanes' candidate sets are drawn
+    /// into one lane-major flat arena (identical tape addresses to the
+    /// scalar draw), then the adoption scan walks each node's
+    /// neighborhood **once** for the whole block — per neighbor, a
+    /// sorted merge-intersection eliminates the node's surviving
+    /// candidates in every lane at once (64-bit alive masks, one bit per
+    /// candidate), where the per-seed fallback re-walks the neighbor
+    /// list and re-runs the binary searches once per seed.  The first
+    /// surviving candidate per lane is the adopted color, feeding the
+    /// lane-parallel SSP kernel.
+    fn seed_cost_block(
+        &self,
+        state: &ColoringState,
+        tapes: &[&dyn Randomness],
+        scratch: &mut SimScratch,
+        costs: &mut [f64],
+    ) {
+        debug_assert_eq!(tapes.len(), costs.len());
+        let lanes = tapes.len();
+        scratch.begin();
+        let n_active = self.set.active.len();
+        let mut plane = std::mem::take(&mut scratch.plane);
+        let mut draw_colors = std::mem::take(&mut scratch.draw_colors);
+        let mut draw_off = std::mem::take(&mut scratch.draw_off);
+        let mut tmp = std::mem::take(&mut scratch.perm);
+        // Phase 1: lane-major candidate arena; range of (lane s, active
+        // index i) is draw_off[s·n_active + i] .. draw_off[s·n_active + i + 1].
+        draw_off.push(0);
+        for tape in tapes {
+            for &v in &self.set.active {
+                self.draw_into(state, *tape, v, &mut draw_colors, &mut tmp, &mut plane.vals);
+                draw_off.push(draw_colors.len());
+            }
+        }
+        // Phase 2: block adoption scan.
+        plane.soa.resize(state.n(), [0u32; SEED_BLOCK]);
+        plane.adopted_mask.resize(state.n(), 0);
+        let off = |s: usize, i: usize| (draw_off[s * n_active + i], draw_off[s * n_active + i + 1]);
+        for (i, &v) in self.set.active.iter().enumerate() {
+            let mut alive = [0u64; SEED_BLOCK];
+            for (s, a) in alive.iter_mut().enumerate().take(lanes) {
+                let (lo, hi) = off(s, i);
+                let want = hi - lo;
+                *a = if want >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << want) - 1
+                };
+            }
+            for &u in self.g.neighbors(v) {
+                if !self.set.contains(u) {
+                    continue;
+                }
+                let p = self.pos[u as usize] as usize;
+                let mut any = 0u64;
+                for (s, a) in alive.iter_mut().enumerate().take(lanes) {
+                    if *a == 0 {
+                        continue;
+                    }
+                    let (lo, hi) = off(s, i);
+                    let (ulo, uhi) = off(s, p);
+                    *a &= !sorted_intersect_mask(&draw_colors[lo..hi], &draw_colors[ulo..uhi]);
+                    any |= *a;
+                }
+                if any == 0 {
+                    break; // eliminated everywhere: no lane can adopt
+                }
+            }
+            let mut am = 0u8;
+            let row = &mut plane.soa[v as usize];
+            for (s, &a) in alive.iter().enumerate().take(lanes) {
+                if a != 0 {
+                    let (lo, _) = off(s, i);
+                    // First surviving candidate in sorted order — exactly
+                    // the scalar path's first adoptable color.
+                    row[s] = draw_colors[lo + a.trailing_zeros() as usize];
+                    am |= 1 << s;
+                }
+            }
+            plane.adopted_mask[v as usize] = am;
+        }
+        lane_ssp_costs(
+            self.g, state, &self.set, &self.ssp, &mut plane, lanes, costs,
+        );
+        scratch.plane = plane;
+        scratch.draw_colors = draw_colors;
+        scratch.draw_off = draw_off;
+        scratch.perm = tmp;
+    }
+
     fn ssp_failures(&self, state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
         evaluate_ssp(self.g, state, &self.set, &self.ssp, out)
     }
@@ -913,6 +1199,100 @@ impl NormalProcedure for GenerateSlack<'_> {
         slack_target_count(self.g, state, &self.set, &self.targets, scratch) as f64
     }
 
+    /// Slack-lane block evaluation: all lanes' sample bits and picks are
+    /// materialized once (Bernoulli stripes over the active set, bounded
+    /// draws over each lane's gathered sampled subset — the same tape
+    /// addresses the scalar path reads), then **one** lane-masked pass
+    /// over the active edge list finds same-pick collisions between
+    /// sampled endpoints for the whole block, and the lane-parallel slack
+    /// kernel evaluates every lane's slack-target failures in one
+    /// neighborhood pass per candidate node — where the per-seed fallback
+    /// re-walks edges and neighborhoods once per seed.
+    fn seed_cost_block(
+        &self,
+        state: &ColoringState,
+        tapes: &[&dyn Randomness],
+        scratch: &mut SimScratch,
+        costs: &mut [f64],
+    ) {
+        debug_assert_eq!(tapes.len(), costs.len());
+        let lanes = tapes.len();
+        scratch.begin();
+        let mut plane = std::mem::take(&mut scratch.plane);
+        let n = state.n();
+        plane.soa.resize(n, [0u32; SEED_BLOCK]);
+        plane.valid_mask.resize(n, 0);
+        plane.lane_mask.resize(n, 0);
+        plane.adopted_mask.resize(n, 0);
+        for &v in &self.set.active {
+            plane.valid_mask[v as usize] = 0;
+            plane.lane_mask[v as usize] = 0;
+        }
+        // Per lane: Bernoulli stripe over the active set, then bounded
+        // picks over the gathered sampled subset only (the scalar path
+        // also draws picks only for sampled nodes).
+        let stream_s = S_SAMPLE ^ (self.round_tag << 8);
+        let stream_p = S_PICK ^ (self.round_tag << 8);
+        let mut sampled = std::mem::take(&mut plane.nodes);
+        for (s, tape) in tapes.iter().enumerate() {
+            plane.bits.resize(self.set.active.len(), false);
+            tape.fill_bernoulli(stream_s, &self.set.active, 0, self.prob, &mut plane.bits);
+            sampled.clear();
+            sampled.extend(
+                self.set
+                    .active
+                    .iter()
+                    .zip(plane.bits.iter())
+                    .filter(|&(_, &hit)| hit)
+                    .map(|(&v, _)| v),
+            );
+            plane.bounds.clear();
+            plane
+                .bounds
+                .extend(sampled.iter().map(|&v| state.palette(v).len() as u64));
+            plane.vals.resize(sampled.len(), 0);
+            tape.fill_below(stream_p, &sampled, 1, &plane.bounds, &mut plane.vals);
+            for (i, &v) in sampled.iter().enumerate() {
+                plane.soa[v as usize][s] = state.palette(v)[plane.vals[i] as usize];
+                plane.valid_mask[v as usize] |= 1 << s;
+            }
+        }
+        plane.nodes = sampled;
+        // Lane-masked collision scan: an edge clashes in lane `s` iff
+        // both endpoints are sampled there and drew the same color.
+        // ANDing with both validity masks keeps stale SoA lanes (nodes
+        // unsampled this block) from producing phantom clashes.
+        {
+            let soa = &plane.soa;
+            let valid = &plane.valid_mask;
+            let mask = &mut plane.lane_mask;
+            for &(a, b) in self.active_edges() {
+                let both = valid[a as usize] & valid[b as usize];
+                if both == 0 {
+                    continue;
+                }
+                let eq = lane_eq_mask8(&soa[a as usize], &soa[b as usize]) & both;
+                mask[a as usize] |= eq;
+                mask[b as usize] |= eq;
+            }
+        }
+        for &v in &self.set.active {
+            plane.adopted_mask[v as usize] =
+                plane.valid_mask[v as usize] & !plane.lane_mask[v as usize];
+        }
+        lane_slack_fail_costs(
+            self.g,
+            state,
+            &self.set,
+            &mut plane,
+            lanes,
+            |i| self.targets[i] <= 0.0,
+            |i, _| self.targets[i],
+            costs,
+        );
+        scratch.plane = plane;
+    }
+
     fn ssp_failures(&self, state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
         evaluate_ssp(
             self.g,
@@ -952,6 +1332,45 @@ pub struct SynchColorTrial<'a> {
     pub tolerance: usize,
     /// Distinguishes repeated calls within one stage.
     pub round_tag: u64,
+    /// Union of all cliques' inliers (the only possible proposal holders)
+    /// and the edges among them — the lane-masked conflict scan's
+    /// pre-filtered edge list, built lazily at first seed evaluation.
+    prop_edges: std::sync::OnceLock<(StageSet, Vec<(NodeId, NodeId)>)>,
+}
+
+impl<'a> SynchColorTrial<'a> {
+    /// Construct one invocation.
+    pub fn new(
+        g: &'a Graph,
+        set: StageSet,
+        cliques: Vec<CliqueTrial>,
+        tolerance: usize,
+        round_tag: u64,
+    ) -> Self {
+        SynchColorTrial {
+            g,
+            set,
+            cliques,
+            tolerance,
+            round_tag,
+            prop_edges: std::sync::OnceLock::new(),
+        }
+    }
+
+    fn prop_edges(&self) -> &(StageSet, Vec<(NodeId, NodeId)>) {
+        self.prop_edges.get_or_init(|| {
+            let mut holders: Vec<NodeId> = self
+                .cliques
+                .iter()
+                .flat_map(|ct| ct.inliers.iter().copied())
+                .collect();
+            holders.sort_unstable();
+            holders.dedup();
+            let holder_set = StageSet::new(self.g.n(), holders);
+            let edges = collect_active_edges(self.g, &holder_set);
+            (holder_set, edges)
+        })
+    }
 }
 
 impl NormalProcedure for SynchColorTrial<'_> {
@@ -1077,6 +1496,119 @@ impl NormalProcedure for SynchColorTrial<'_> {
             }
         }
         total as f64
+    }
+
+    /// Seed-lane block evaluation: every lane's leader deals (the
+    /// data-dependent Fisher-Yates stays per-lane, fed by one idx-stripe
+    /// off that lane's tape) land in the proposal SoA plane, then **one**
+    /// lane-masked pass over the proposal-holder edge list resolves
+    /// conflicts for the whole block, and one pass over the cliques
+    /// counts every lane's tolerance-gated failures — where the per-seed
+    /// fallback re-walks inlier neighborhoods once per seed.
+    fn seed_cost_block(
+        &self,
+        state: &ColoringState,
+        tapes: &[&dyn Randomness],
+        scratch: &mut SimScratch,
+        costs: &mut [f64],
+    ) {
+        debug_assert_eq!(tapes.len(), costs.len());
+        let lanes = tapes.len();
+        scratch.begin();
+        let (holders, prop_edges) = self.prop_edges();
+        let mut plane = std::mem::take(&mut scratch.plane);
+        let mut perm = std::mem::take(&mut scratch.perm);
+        let n = state.n();
+        plane.soa.resize(n, [0u32; SEED_BLOCK]);
+        plane.valid_mask.resize(n, 0);
+        plane.lane_mask.resize(n, 0);
+        plane.adopted_mask.resize(n, 0);
+        for &v in holders.active.iter().chain(self.set.active.iter()) {
+            plane.valid_mask[v as usize] = 0;
+            plane.lane_mask[v as usize] = 0;
+        }
+        // Phase 1: leaders deal colors, one Fisher-Yates per (clique,
+        // lane); cliques outer so shared inliers keep the scalar path's
+        // last-writer proposal in every lane.
+        let stream = S_PERM ^ (self.round_tag << 8);
+        for ct in &self.cliques {
+            let pal = state.palette(ct.leader);
+            if pal.is_empty() {
+                continue;
+            }
+            for (s, tape) in tapes.iter().enumerate() {
+                perm.clear();
+                perm.extend_from_slice(pal);
+                plane.vals.resize(perm.len().saturating_sub(1), 0);
+                tape.fill_words_seq(ct.leader, stream, 1, &mut plane.vals);
+                for i in (1..perm.len()).rev() {
+                    let j = ((plane.vals[i - 1] as u128 * (i as u128 + 1)) >> 64) as usize;
+                    perm.swap(i, j);
+                }
+                for (k, &v) in ct.inliers.iter().take(perm.len()).enumerate() {
+                    plane.soa[v as usize][s] = perm[k];
+                    plane.valid_mask[v as usize] |= 1 << s;
+                }
+            }
+        }
+        // Phase 2: lane-masked conflict scan over proposal holders; a
+        // clash in lane `s` needs both endpoints to hold (raw) proposals
+        // there — palette membership gates adoption, not clashing,
+        // exactly as in the scalar path.
+        {
+            let soa = &plane.soa;
+            let valid = &plane.valid_mask;
+            let mask = &mut plane.lane_mask;
+            for &(a, b) in prop_edges {
+                let both = valid[a as usize] & valid[b as usize];
+                if both == 0 {
+                    continue;
+                }
+                let eq = lane_eq_mask8(&soa[a as usize], &soa[b as usize]) & both;
+                mask[a as usize] |= eq;
+                mask[b as usize] |= eq;
+            }
+        }
+        // Adoption: proposal held, in own palette, clash-free.
+        for &v in &self.set.active {
+            let mut am = plane.valid_mask[v as usize] & !plane.lane_mask[v as usize];
+            if am != 0 {
+                let pal = state.palette(v);
+                let row = &plane.soa[v as usize];
+                let mut keep = 0u8;
+                for (s, c) in row.iter().enumerate().take(lanes) {
+                    if am >> s & 1 == 1 && pal.contains(c) {
+                        keep |= 1 << s;
+                    }
+                }
+                am = keep;
+            }
+            plane.adopted_mask[v as usize] = am;
+        }
+        // Tolerance-gated per-clique failure counts, all lanes at once.
+        let mut total = [0usize; SEED_BLOCK];
+        for ct in &self.cliques {
+            let mut failed = [0usize; SEED_BLOCK];
+            for &v in &ct.inliers {
+                if !self.set.contains(v) {
+                    continue;
+                }
+                let am = plane.adopted_mask[v as usize];
+                for (s, f) in failed.iter_mut().enumerate().take(lanes) {
+                    *f += usize::from(am >> s & 1 == 0);
+                }
+            }
+            for (s, t) in total.iter_mut().enumerate().take(lanes) {
+                if failed[s] > self.tolerance {
+                    *t += failed[s];
+                }
+            }
+        }
+        for (s, c) in costs.iter_mut().enumerate() {
+            *c = total[s] as f64;
+        }
+        scratch.plane = plane;
+        scratch.perm = perm;
     }
 
     fn ssp_failures(&self, state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
@@ -1240,6 +1772,99 @@ impl NormalProcedure for PutAside<'_> {
             }
         }
         total as f64
+    }
+
+    /// Seed-lane block evaluation: every lane's sample bits are
+    /// materialized as per-node lane bitmasks (one Bernoulli stripe per
+    /// clique per lane, later cliques overwriting shared inliers exactly
+    /// like the scalar last-writer probability table), then **one**
+    /// neighborhood pass computes every lane's kept set `P` (sampled, no
+    /// sampled active neighbor) and one pass over the cliques counts all
+    /// lanes' target misses — where the per-seed fallback re-walks the
+    /// inlier neighborhoods once per seed.
+    fn seed_cost_block(
+        &self,
+        state: &ColoringState,
+        tapes: &[&dyn Randomness],
+        scratch: &mut SimScratch,
+        costs: &mut [f64],
+    ) {
+        debug_assert_eq!(tapes.len(), costs.len());
+        let lanes = tapes.len();
+        scratch.begin();
+        let mut plane = std::mem::take(&mut scratch.plane);
+        let n = state.n();
+        plane.valid_mask.resize(n, 0);
+        plane.adopted_mask.resize(n, 0);
+        for &v in &self.set.active {
+            plane.valid_mask[v as usize] = 0;
+            plane.adopted_mask[v as usize] = 0;
+        }
+        for cq in &self.cliques {
+            for &v in &cq.inliers {
+                plane.valid_mask[v as usize] = 0;
+                plane.adopted_mask[v as usize] = 0;
+            }
+        }
+        let stream = S_SAMPLE ^ (self.round_tag << 8) ^ 0x5041;
+        for cq in &self.cliques {
+            for (s, tape) in tapes.iter().enumerate() {
+                plane.bits.resize(cq.inliers.len(), false);
+                tape.fill_bernoulli(stream, &cq.inliers, 0, cq.prob, &mut plane.bits);
+                for (i, &v) in cq.inliers.iter().enumerate() {
+                    // Last-writer overwrite per lane, matching the scalar
+                    // path's dense probability table.
+                    let bit = 1u8 << s;
+                    if cq.prob > 0.0 && plane.bits[i] {
+                        plane.valid_mask[v as usize] |= bit;
+                    } else {
+                        plane.valid_mask[v as usize] &= !bit;
+                    }
+                }
+            }
+        }
+        // P per lane: sampled with no sampled active neighbor.
+        let full: u8 = ((1u16 << lanes) - 1) as u8;
+        for &v in &self.set.active {
+            let sv = plane.valid_mask[v as usize];
+            if sv == 0 {
+                continue;
+            }
+            let mut blocked = 0u8;
+            for &u in self.g.neighbors(v) {
+                if self.set.contains(u) {
+                    blocked |= plane.valid_mask[u as usize];
+                    if blocked & full == full {
+                        break;
+                    }
+                }
+            }
+            plane.adopted_mask[v as usize] = sv & !blocked;
+        }
+        // Per-clique target misses, all lanes at once.
+        let mut total = [0usize; SEED_BLOCK];
+        for cq in &self.cliques {
+            let mut got = [0usize; SEED_BLOCK];
+            let mut missing = [0usize; SEED_BLOCK];
+            for &v in &cq.inliers {
+                let pm = plane.adopted_mask[v as usize];
+                let in_set = self.set.contains(v);
+                for s in 0..lanes {
+                    let kept = pm >> s & 1 == 1;
+                    got[s] += usize::from(kept);
+                    missing[s] += usize::from(in_set && !kept);
+                }
+            }
+            for (s, t) in total.iter_mut().enumerate().take(lanes) {
+                if got[s] < cq.target {
+                    *t += missing[s];
+                }
+            }
+        }
+        for (s, c) in costs.iter_mut().enumerate() {
+            *c = total[s] as f64;
+        }
+        scratch.plane = plane;
     }
 
     fn ssp_failures(&self, _state: &ColoringState, out: &Outcome) -> Vec<NodeId> {
@@ -1414,13 +2039,7 @@ mod tests {
         let mut state = ColoringState::new(&inst);
         let inliers: Vec<NodeId> = (1..6).collect();
         let set = StageSet::new(6, inliers.clone());
-        let proc = SynchColorTrial {
-            g: &g,
-            set,
-            cliques: vec![CliqueTrial { leader: 0, inliers }],
-            tolerance: 6,
-            round_tag: 0,
-        };
+        let proc = SynchColorTrial::new(&g, set, vec![CliqueTrial { leader: 0, inliers }], 6, 0);
         let tape = CryptoTape::new(17);
         let out = proc.simulate(&state, &tape);
         // In a true clique all proposals are distinct colors of a shared
@@ -1437,13 +2056,7 @@ mod tests {
         let state = ColoringState::new(&inst);
         let inliers: Vec<NodeId> = (1..5).collect();
         let set = StageSet::new(5, inliers.clone());
-        let proc = SynchColorTrial {
-            g: &g,
-            set,
-            cliques: vec![CliqueTrial { leader: 0, inliers }],
-            tolerance: 0,
-            round_tag: 0,
-        };
+        let proc = SynchColorTrial::new(&g, set, vec![CliqueTrial { leader: 0, inliers }], 0, 0);
         let tape = CryptoTape::new(17);
         let out = proc.simulate(&state, &tape);
         let fails = proc.ssp_failures(&state, &out);

@@ -14,7 +14,7 @@
 
 use parcolor_local::graph::{Graph, NodeId};
 use parcolor_local::tape::{CryptoTape, Randomness};
-use parcolor_prg::{select_seed_with, ChunkAssignment, Prg, PrgTape, SeedStrategy};
+use parcolor_prg::{select_seed_blocks_n, ChunkAssignment, Prg, PrgTape, SeedStrategy, SEED_BLOCK};
 use rayon::prelude::*;
 use serde::Serialize;
 
@@ -50,6 +50,17 @@ fn luby_round(g: &Graph, live: &[bool], rng: &dyn Randomness, round: u64) -> Vec
         .collect()
 }
 
+/// Nodes of the live set not dominated by a joined set, where membership
+/// is supplied as a predicate — the ONE undominated-count kernel shared
+/// by the reference path (dense `Vec<bool>` mask) and the scratch path
+/// (epoch stamps), so the two cannot diverge.
+fn undominated_count(g: &Graph, live: &[bool], is_joined: impl Fn(NodeId) -> bool) -> usize {
+    (0..g.n() as NodeId)
+        .filter(|&v| live[v as usize] && !is_joined(v))
+        .filter(|&v| !g.neighbors(v).iter().any(|&u| is_joined(u)))
+        .count()
+}
+
 /// Nodes of the live set not dominated by `joined` (the SSP failures of
 /// the round if the round were the whole procedure): live nodes with no
 /// joined node in their closed neighborhood after this round... for the
@@ -60,11 +71,7 @@ fn undominated(g: &Graph, live: &[bool], joined: &[NodeId]) -> usize {
     for &v in joined {
         jmask[v as usize] = true;
     }
-    (0..g.n() as NodeId)
-        .into_par_iter()
-        .filter(|&v| live[v as usize] && !jmask[v as usize])
-        .filter(|&v| !g.neighbors(v).iter().any(|&u| jmask[u as usize]))
-        .count()
+    undominated_count(g, live, |v| jmask[v as usize])
 }
 
 /// Per-worker scratch for the derandomized seed search: a reusable
@@ -83,6 +90,13 @@ struct LubyScratch {
     prio: Vec<u64>,
     /// Stripe buffer aligned with the round's live-node list.
     vals: Vec<u64>,
+    /// Seed-lane priority plane: the priorities of up to [`SEED_BLOCK`]
+    /// seeds per node, dense by node id — the block evaluator's
+    /// structure-of-arrays view.
+    prio_soa: Vec<[u64; SEED_BLOCK]>,
+    /// Per-node seed-lane join bits (bit `s` ⇔ the node wins its
+    /// neighborhood under seed lane `s`).
+    join_mask: Vec<u8>,
 }
 
 impl LubyScratch {
@@ -93,6 +107,8 @@ impl LubyScratch {
             epoch: 0,
             prio: vec![0; n],
             vals: Vec::new(),
+            prio_soa: Vec::new(),
+            join_mask: Vec::new(),
         }
     }
 }
@@ -132,22 +148,91 @@ fn luby_round_into(
     }
 }
 
-/// `undominated` against an epoch-stamped membership mask (no per-call
-/// `Vec<bool>`).
+/// [`undominated_count`] against an epoch-stamped membership mask (no
+/// per-call `Vec<bool>`).
 fn undominated_scratch(g: &Graph, live: &[bool], scratch: &mut LubyScratch) -> usize {
     scratch.epoch += 1;
     let epoch = scratch.epoch;
     for &v in &scratch.joined {
         scratch.stamp[v as usize] = epoch;
     }
-    (0..g.n() as NodeId)
-        .filter(|&v| live[v as usize] && scratch.stamp[v as usize] != epoch)
-        .filter(|&v| {
-            !g.neighbors(v)
-                .iter()
-                .any(|&u| scratch.stamp[u as usize] == epoch)
-        })
-        .count()
+    let stamp = &scratch.stamp;
+    undominated_count(g, live, |v| stamp[v as usize] == epoch)
+}
+
+/// Seed-lane block evaluation of one Luby round: all lanes' priorities
+/// are materialized as one structure-of-arrays plane (one batched
+/// `fill_words` stripe per lane), then **one** pass over the live
+/// neighborhoods decides every lane's winners (lane-masked strict-max
+/// compare with the scalar path's id tiebreak) and a second pass counts
+/// every lane's undominated nodes — where the per-seed fallback re-walks
+/// the neighborhoods once per seed.  `costs[s]` equals exactly what
+/// `luby_round_into` + `undominated_scratch` computes for tape `s`.
+#[allow(clippy::too_many_arguments)] // internal block kernel, all state explicit
+fn luby_round_block_costs(
+    g: &Graph,
+    live: &[bool],
+    live_list: &[NodeId],
+    tapes: &[PrgTape],
+    lanes: usize,
+    round: u64,
+    scratch: &mut LubyScratch,
+    costs: &mut [f64],
+) {
+    debug_assert!(lanes <= SEED_BLOCK && costs.len() == lanes);
+    scratch.prio_soa.resize(g.n(), [0u64; SEED_BLOCK]);
+    scratch.join_mask.resize(g.n(), 0);
+    scratch.vals.resize(live_list.len(), 0);
+    for (s, tape) in tapes.iter().enumerate().take(lanes) {
+        tape.fill_words(round, live_list, 0, &mut scratch.vals);
+        for (i, &v) in live_list.iter().enumerate() {
+            scratch.prio_soa[v as usize][s] = scratch.vals[i];
+        }
+    }
+    let full: u8 = ((1u16 << lanes) - 1) as u8;
+    let prio_soa = &scratch.prio_soa;
+    let join_mask = &mut scratch.join_mask;
+    // Pass 1: winners per lane (strict winner with id tiebreak).
+    for &v in live_list {
+        let pv = &prio_soa[v as usize];
+        let mut wins = full;
+        for &u in g.neighbors(v) {
+            if !live[u as usize] {
+                continue;
+            }
+            let pu = &prio_soa[u as usize];
+            for s in 0..lanes {
+                let beat = pv[s] > pu[s] || (pv[s] == pu[s] && v < u);
+                wins &= !(u8::from(!beat) << s);
+            }
+            if wins == 0 {
+                break;
+            }
+        }
+        join_mask[v as usize] = wins;
+    }
+    // Pass 2: per-lane undominated counts off the join masks.
+    let join_mask = &scratch.join_mask;
+    let mut undom = [0usize; SEED_BLOCK];
+    for &v in live_list {
+        let mut dom = join_mask[v as usize];
+        if dom & full != full {
+            for &u in g.neighbors(v) {
+                if live[u as usize] {
+                    dom |= join_mask[u as usize];
+                    if dom & full == full {
+                        break;
+                    }
+                }
+            }
+        }
+        for (s, c) in undom.iter_mut().enumerate().take(lanes) {
+            *c += usize::from(dom >> s & 1 == 0);
+        }
+    }
+    for (s, c) in costs.iter_mut().enumerate() {
+        *c = undom[s] as f64;
+    }
 }
 
 fn retire(g: &Graph, live: &mut [bool], joined: &[NodeId], in_mis: &mut [bool]) {
@@ -190,6 +275,21 @@ pub fn derandomized_luby_mis(
     strategy: SeedStrategy,
     max_rounds: u64,
 ) -> MisResult {
+    derandomized_luby_mis_sharded(g, seed_bits, strategy, max_rounds, 0)
+}
+
+/// [`derandomized_luby_mis`] with an explicit seed-search worker count
+/// (`0` = auto).  Seeds are evaluated in [`SEED_BLOCK`]-lane blocks
+/// ([`luby_round_block_costs`]) dealt to workers by atomic stealing; any
+/// worker count selects the identical seed every round, so the MIS is
+/// identical too.
+pub fn derandomized_luby_mis_sharded(
+    g: &Graph,
+    seed_bits: u32,
+    strategy: SeedStrategy,
+    max_rounds: u64,
+    workers: usize,
+) -> MisResult {
     let prg = Prg::new(seed_bits);
     let chunks = ChunkAssignment::PerNode;
     let mut live = vec![true; g.n()];
@@ -207,14 +307,23 @@ pub fn derandomized_luby_mis(
             .filter(|&v| live_ro[v as usize])
             .collect();
         let live_list = &live_list;
-        let sel = select_seed_with(
+        let sel = select_seed_blocks_n(
             seed_bits,
             strategy,
+            workers,
             || LubyScratch::new(g.n()),
-            |seed, scratch| {
-                let tape = PrgTape::new(prg, seed, &chunks);
-                luby_round_into(g, live_ro, live_list, &tape, rounds, scratch);
-                undominated_scratch(g, live_ro, scratch) as f64
+            |seed0, costs, scratch| {
+                let tapes = prg.block_tapes(seed0, &chunks);
+                luby_round_block_costs(
+                    g,
+                    live_ro,
+                    live_list,
+                    &tapes,
+                    costs.len(),
+                    rounds,
+                    scratch,
+                    costs,
+                );
             },
         );
         debug_assert!(sel.satisfies_guarantee());
@@ -231,6 +340,51 @@ pub fn derandomized_luby_mis(
         rounds,
         deferrals_per_round: deferrals,
         guarantee_checks: checks,
+    }
+}
+
+/// Bench/testing hook: run one Luby round's seed search over the whole
+/// graph (everyone live) and return the selection — either through the
+/// seed-lane **block** path ([`luby_round_block_costs`], what
+/// [`derandomized_luby_mis`] drives) or through the **per-seed** fused
+/// fallback (`luby_round_into` + `undominated_scratch`, the regime before
+/// the block port).  Both must select identically; benches measure the
+/// block path's per-seed-eval speedup through this single entry point.
+pub fn luby_round_seed_search(
+    g: &Graph,
+    seed_bits: u32,
+    strategy: SeedStrategy,
+    workers: usize,
+    block: bool,
+) -> parcolor_prg::SeedSelection {
+    let prg = Prg::new(seed_bits);
+    let chunks = ChunkAssignment::PerNode;
+    let live = vec![true; g.n()];
+    let live_list: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    let (live, live_list) = (&live, &live_list);
+    if block {
+        select_seed_blocks_n(
+            seed_bits,
+            strategy,
+            workers,
+            || LubyScratch::new(g.n()),
+            |seed0, costs, scratch| {
+                let tapes = prg.block_tapes(seed0, &chunks);
+                luby_round_block_costs(g, live, live_list, &tapes, costs.len(), 1, scratch, costs);
+            },
+        )
+    } else {
+        parcolor_prg::select_seed_with_n(
+            seed_bits,
+            strategy,
+            workers,
+            || LubyScratch::new(g.n()),
+            |seed, scratch| {
+                let tape = PrgTape::new(prg, seed, &chunks);
+                luby_round_into(g, live, live_list, &tape, 1, scratch);
+                undominated_scratch(g, live, scratch) as f64
+            },
+        )
     }
 }
 
@@ -289,6 +443,45 @@ mod tests {
                 undominated_scratch(&g, &live, &mut scratch),
                 undominated(&g, &live, &reference),
                 "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_round_search_matches_per_seed_path() {
+        // The seed-lane block evaluation must select exactly what the
+        // per-seed fused fallback selects, for every strategy.
+        let g = random_graph(250, 900, 4);
+        for strategy in [
+            SeedStrategy::Exhaustive,
+            SeedStrategy::BitwiseCondExp,
+            SeedStrategy::FixedSubset(13),
+            SeedStrategy::SingleSeed(5),
+        ] {
+            let scalar = luby_round_seed_search(&g, 6, strategy, 1, false);
+            let block = luby_round_seed_search(&g, 6, strategy, 1, true);
+            assert_eq!(scalar.seed, block.seed, "{strategy:?}");
+            assert_eq!(scalar.cost, block.cost, "{strategy:?}");
+            assert_eq!(scalar.mean_cost, block.mean_cost, "{strategy:?}");
+            assert_eq!(scalar.min_cost, block.min_cost, "{strategy:?}");
+            assert_eq!(scalar.trace, block.trace, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_mis_is_worker_invariant() {
+        // The stolen-block fold must not change any round's selection,
+        // hence not the MIS either.
+        let g = random_graph(150, 500, 8);
+        let reference = derandomized_luby_mis_sharded(&g, 6, SeedStrategy::Exhaustive, 1000, 1);
+        verify_mis(&g, &reference.in_mis).unwrap();
+        for workers in [2usize, 4, 8] {
+            let got = derandomized_luby_mis_sharded(&g, 6, SeedStrategy::Exhaustive, 1000, workers);
+            assert_eq!(reference.in_mis, got.in_mis, "workers = {workers}");
+            assert_eq!(reference.rounds, got.rounds, "workers = {workers}");
+            assert_eq!(
+                reference.guarantee_checks, got.guarantee_checks,
+                "workers = {workers}"
             );
         }
     }

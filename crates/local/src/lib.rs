@@ -29,6 +29,7 @@ pub mod engine;
 pub mod graph;
 pub mod message;
 pub mod power;
+pub mod simd;
 pub mod tape;
 
 pub use engine::{LocalMetrics, RoundEngine};

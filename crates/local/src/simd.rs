@@ -1,0 +1,137 @@
+//! Explicit SIMD kernels for the hot randomness/clash-scan inner loops —
+//! the places where the autovectorizer stops.
+//!
+//! Everything here is **bit-identical** to its scalar counterpart and
+//! selected at **compile time**: when the build targets `x86_64` with
+//! AVX2 enabled (the workspace builds with `target-cpu=native`, so any
+//! AVX2-capable host qualifies), the kernels lower to intrinsics; on any
+//! other target the same function compiles to the plain scalar loop.  No
+//! runtime dispatch, no behavioral difference — callers can use these
+//! unconditionally and the batch contract (`tape` module docs) is
+//! preserved verbatim.
+//!
+//! Two kernels are exported:
+//!
+//! * [`splitmix4`] — four independent [`super::tape::splitmix64`] lanes.
+//!   AVX2 has no 64-bit lane multiply (`vpmullq` is AVX-512), so the two
+//!   mixer multiplies are composed from `vpmuludq` 32×32→64 partial
+//!   products — exact arithmetic mod 2⁶⁴, hence bit-identical.
+//! * [`lane_eq_mask8`] — the seed-lane clash compare: one `u8` whose bit
+//!   `s` says whether two 8-lane `u32` pick rows agree in lane `s`
+//!   (`_mm256_cmpeq_epi32` + movemask).
+
+/// Number of 64-bit lanes [`splitmix4`] mixes at once (one AVX2 register).
+pub const SPLITMIX_LANES: usize = 4;
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+mod imp {
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// `a.wrapping_mul(b)` per 64-bit lane, from 32×32→64 partials:
+    /// `lo(a)·lo(b) + ((hi(a)·lo(b) + lo(a)·hi(b)) << 32)` — the high
+    /// cross-product overflow drops out mod 2⁶⁴ exactly like scalar
+    /// wrapping multiply.
+    #[inline(always)]
+    unsafe fn mul64(a: __m256i, b: __m256i) -> __m256i {
+        let lo = _mm256_mul_epu32(a, b);
+        let cross = _mm256_add_epi64(
+            _mm256_mul_epu32(_mm256_srli_epi64::<32>(a), b),
+            _mm256_mul_epu32(a, _mm256_srli_epi64::<32>(b)),
+        );
+        _mm256_add_epi64(lo, _mm256_slli_epi64::<32>(cross))
+    }
+
+    /// Four [`crate::tape::splitmix64`] lanes (same constants, same
+    /// rounds, exact mod-2⁶⁴ arithmetic).
+    #[inline(always)]
+    pub fn splitmix4(z: [u64; 4]) -> [u64; 4] {
+        // SAFETY: guarded by the compile-time `avx2` target feature.
+        unsafe {
+            let c1 = _mm256_set1_epi64x(0xBF58_476D_1CE4_E5B9_u64 as i64);
+            let c2 = _mm256_set1_epi64x(0x94D0_49BB_1331_11EB_u64 as i64);
+            let golden = _mm256_set1_epi64x(0x9E37_79B9_7F4A_7C15_u64 as i64);
+            let mut v = _mm256_loadu_si256(z.as_ptr() as *const __m256i);
+            v = _mm256_add_epi64(v, golden);
+            v = mul64(_mm256_xor_si256(v, _mm256_srli_epi64::<30>(v)), c1);
+            v = mul64(_mm256_xor_si256(v, _mm256_srli_epi64::<27>(v)), c2);
+            v = _mm256_xor_si256(v, _mm256_srli_epi64::<31>(v));
+            let mut out = [0u64; 4];
+            _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, v);
+            out
+        }
+    }
+
+    /// Bit `s` of the result ⇔ `a[s] == b[s]`.
+    #[inline(always)]
+    pub fn lane_eq_mask8(a: &[u32; 8], b: &[u32; 8]) -> u8 {
+        // SAFETY: guarded by the compile-time `avx2` target feature.
+        unsafe {
+            let va = _mm256_loadu_si256(a.as_ptr() as *const __m256i);
+            let vb = _mm256_loadu_si256(b.as_ptr() as *const __m256i);
+            let eq = _mm256_cmpeq_epi32(va, vb);
+            _mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u8
+        }
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+mod imp {
+    /// Four [`crate::tape::splitmix64`] lanes (scalar fallback).
+    #[inline(always)]
+    pub fn splitmix4(z: [u64; 4]) -> [u64; 4] {
+        [
+            crate::tape::splitmix64(z[0]),
+            crate::tape::splitmix64(z[1]),
+            crate::tape::splitmix64(z[2]),
+            crate::tape::splitmix64(z[3]),
+        ]
+    }
+
+    /// Bit `s` of the result ⇔ `a[s] == b[s]` (scalar fallback).
+    #[inline(always)]
+    pub fn lane_eq_mask8(a: &[u32; 8], b: &[u32; 8]) -> u8 {
+        let mut eq = 0u8;
+        for s in 0..8 {
+            eq |= u8::from(a[s] == b[s]) << s;
+        }
+        eq
+    }
+}
+
+pub use imp::{lane_eq_mask8, splitmix4};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::splitmix64;
+
+    #[test]
+    fn splitmix4_matches_scalar() {
+        // Probe structured and avalanche-y inputs, including extremes.
+        let probes: Vec<u64> = (0..64u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i << 59))
+            .chain([0, 1, u64::MAX, u64::MAX - 1, 1u64 << 63])
+            .collect();
+        for w in probes.chunks(4) {
+            let mut z = [0u64; 4];
+            z[..w.len()].copy_from_slice(w);
+            let got = splitmix4(z);
+            for l in 0..4 {
+                assert_eq!(got[l], splitmix64(z[l]), "lane {l} of {z:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_eq_mask_matches_scalar() {
+        let a = [1u32, 2, 3, u32::MAX, 5, 0, 7, 8];
+        let mut b = a;
+        assert_eq!(lane_eq_mask8(&a, &b), 0xFF);
+        b[0] = 9;
+        b[3] = 0;
+        b[7] = 0;
+        assert_eq!(lane_eq_mask8(&a, &b), 0b0111_0110);
+        assert_eq!(lane_eq_mask8(&a, &[0; 8]), 0b0010_0000);
+    }
+}

@@ -191,20 +191,23 @@ impl Randomness for CryptoTape {
 
     /// [`mix4`] over lanes: the key round is hoisted once per stripe and
     /// the stream/idx products are loop invariants, leaving three
-    /// straight-line splitmix rounds per lane for the autovectorizer.
+    /// straight-line splitmix rounds per lane — mixed four lanes at a time
+    /// by the explicit [`crate::simd::splitmix4`] kernel (AVX2 when the
+    /// build targets it, the identical scalar rounds otherwise).
     fn fill_words(&self, stream: u64, nodes: &[u32], idx: u32, out: &mut [u64]) {
         debug_assert_eq!(nodes.len(), out.len());
         let a = splitmix64(self.key ^ 0xA076_1D64_78BD_642F);
         let sm = stream.wrapping_mul(0x8EBC_6AF0_9C88_C6E3);
         let im = (idx as u64).wrapping_mul(0x5897_89E6_C7C0_A791);
-        let mut node_it = nodes.chunks_exact(MIX_LANES);
-        let mut out_it = out.chunks_exact_mut(MIX_LANES);
+        let mut node_it = nodes.chunks_exact(crate::simd::SPLITMIX_LANES);
+        let mut out_it = out.chunks_exact_mut(crate::simd::SPLITMIX_LANES);
         for (nch, och) in (&mut node_it).zip(&mut out_it) {
-            for l in 0..MIX_LANES {
-                let b = splitmix64(a ^ (nch[l] as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
-                let c = splitmix64(b ^ sm);
-                och[l] = splitmix64(c ^ im);
-            }
+            let b = crate::simd::splitmix4(std::array::from_fn(|l| {
+                a ^ (nch[l] as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB)
+            }));
+            let c = crate::simd::splitmix4(std::array::from_fn(|l| b[l] ^ sm));
+            let w = crate::simd::splitmix4(std::array::from_fn(|l| c[l] ^ im));
+            och.copy_from_slice(&w);
         }
         for (&v, o) in node_it.remainder().iter().zip(out_it.into_remainder()) {
             let b = splitmix64(a ^ (v as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
@@ -214,14 +217,26 @@ impl Randomness for CryptoTape {
     }
 
     /// [`mix4`] along one node's tape: key, node and stream rounds hoisted
-    /// once, one splitmix round per output word.
+    /// once, one splitmix round per output word (four words per
+    /// [`crate::simd::splitmix4`] call).
     fn fill_words_seq(&self, node: u32, stream: u64, idx0: u32, out: &mut [u64]) {
         let a = splitmix64(self.key ^ 0xA076_1D64_78BD_642F);
         let b = splitmix64(a ^ (node as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
         let c = splitmix64(b ^ stream.wrapping_mul(0x8EBC_6AF0_9C88_C6E3));
-        for (i, o) in out.iter_mut().enumerate() {
-            let idx = idx0.wrapping_add(i as u32);
+        let mut out_it = out.chunks_exact_mut(crate::simd::SPLITMIX_LANES);
+        let mut i = 0u32;
+        for och in &mut out_it {
+            let w = crate::simd::splitmix4(std::array::from_fn(|l| {
+                let idx = idx0.wrapping_add(i).wrapping_add(l as u32);
+                c ^ (idx as u64).wrapping_mul(0x5897_89E6_C7C0_A791)
+            }));
+            och.copy_from_slice(&w);
+            i += crate::simd::SPLITMIX_LANES as u32;
+        }
+        for o in out_it.into_remainder() {
+            let idx = idx0.wrapping_add(i);
             *o = splitmix64(c ^ (idx as u64).wrapping_mul(0x5897_89E6_C7C0_A791));
+            i += 1;
         }
     }
 }

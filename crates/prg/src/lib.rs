@@ -30,5 +30,6 @@ pub mod seed_search;
 pub use hashing::{KWiseFamily, PairwiseHash};
 pub use prg::{ChunkAssignment, Prg, PrgTape};
 pub use seed_search::{
-    select_seed, select_seed_blocks, select_seed_with, SeedSelection, SeedStrategy, SEED_BLOCK,
+    select_seed, select_seed_blocks, select_seed_blocks_n, select_seed_with, select_seed_with_n,
+    SeedSelection, SeedStrategy, SEED_BLOCK,
 };

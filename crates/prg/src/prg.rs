@@ -58,9 +58,10 @@ impl Prg {
     ///
     /// The seed round and the idx product are hoisted once per stripe;
     /// what remains per lane is the chunk lookup plus two splitmix rounds
-    /// of straight-line arithmetic the compiler can autovectorize.
-    /// Bit-identical to the scalar path by construction (same rounds,
-    /// same constants).
+    /// run four lanes at a time by the explicit
+    /// [`parcolor_local::simd::splitmix4`] kernel (AVX2 when the build
+    /// targets it, identical scalar rounds otherwise).  Bit-identical to
+    /// the scalar path by construction (same rounds, same constants).
     pub fn fill_words(
         &self,
         seed: u64,
@@ -76,19 +77,41 @@ impl Prg {
         // Resolve the assignment variant once, outside the lane loop.
         match chunks {
             ChunkAssignment::PerNode => {
-                for (o, &v) in out.iter_mut().zip(nodes) {
-                    let b = splitmix64(a ^ (v as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
-                    *o = splitmix64(b ^ im);
-                }
+                fill_two_rounds(a, im, nodes, out, |v| v as u64);
             }
             ChunkAssignment::PowerColoring { colors } => {
-                for (o, &v) in out.iter_mut().zip(nodes) {
-                    let c = colors[v as usize] as u64;
-                    let b = splitmix64(a ^ c.wrapping_mul(0x2545_F491_4F6C_DD1D));
-                    *o = splitmix64(b ^ im);
-                }
+                fill_two_rounds(a, im, nodes, out, |v| colors[v as usize] as u64);
             }
         }
+    }
+}
+
+/// The two per-lane mixer rounds shared by both chunk assignments:
+/// `out[i] = splitmix64(splitmix64(a ^ chunk(nodes[i])·K) ^ im)`, four
+/// lanes per [`parcolor_local::simd::splitmix4`] call with a scalar tail.
+#[inline]
+fn fill_two_rounds(
+    a: u64,
+    im: u64,
+    nodes: &[u32],
+    out: &mut [u64],
+    mut chunk_of: impl FnMut(u32) -> u64,
+) {
+    use parcolor_local::simd::{splitmix4, SPLITMIX_LANES};
+    let mut node_it = nodes.chunks_exact(SPLITMIX_LANES);
+    let mut out_it = out.chunks_exact_mut(SPLITMIX_LANES);
+    for (nch, och) in (&mut node_it).zip(&mut out_it) {
+        let mut z = [0u64; SPLITMIX_LANES];
+        for l in 0..SPLITMIX_LANES {
+            z[l] = a ^ chunk_of(nch[l]).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        }
+        let b = splitmix4(z);
+        let w = splitmix4(std::array::from_fn(|l| b[l] ^ im));
+        och.copy_from_slice(&w);
+    }
+    for (&v, o) in node_it.remainder().iter().zip(out_it.into_remainder()) {
+        let b = splitmix64(a ^ chunk_of(v).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        *o = splitmix64(b ^ im);
     }
 }
 
@@ -193,13 +216,25 @@ impl Randomness for PrgTape<'_> {
     /// is `splitmix64(stream) ^ (idx0 + i)` — identical to what the
     /// scalar [`Randomness::word`] computes per call.
     fn fill_words_seq(&self, node: u32, stream: u64, idx0: u32, out: &mut [u64]) {
+        use parcolor_local::simd::{splitmix4, SPLITMIX_LANES};
         let s = splitmix64(stream) as u32;
         let chunk = self.chunks.chunk_of(node);
         let a = splitmix64(self.seed ^ 0xD1B5_4A32_D192_ED03);
         let b = splitmix64(a ^ chunk.wrapping_mul(0x2545_F491_4F6C_DD1D));
-        for (i, o) in out.iter_mut().enumerate() {
-            let idx = s ^ idx0.wrapping_add(i as u32);
+        let mut out_it = out.chunks_exact_mut(SPLITMIX_LANES);
+        let mut i = 0u32;
+        for och in &mut out_it {
+            let w = splitmix4(std::array::from_fn(|l| {
+                let idx = s ^ idx0.wrapping_add(i).wrapping_add(l as u32);
+                b ^ (idx as u64).wrapping_mul(0x9E6C_63D0_876A_368B)
+            }));
+            och.copy_from_slice(&w);
+            i += SPLITMIX_LANES as u32;
+        }
+        for o in out_it.into_remainder() {
+            let idx = s ^ idx0.wrapping_add(i);
             *o = splitmix64(b ^ (idx as u64).wrapping_mul(0x9E6C_63D0_876A_368B));
+            i += 1;
         }
     }
 }

@@ -34,10 +34,13 @@
 //! * the caller provides a `make_scratch` factory and an
 //!   `eval(seed, &mut scratch)` closure, so each worker thread owns one
 //!   scratch arena and seed evaluations allocate nothing after warm-up;
-//! * seeds are folded in parallel over contiguous chunks with scoped
-//!   `std::thread`s (seed-level parallelism only — evaluations themselves
-//!   must be sequential), merging `(sum, min, argmin)` in chunk order so
-//!   the result is independent of the worker count;
+//! * seeds are folded in parallel with scoped `std::thread`s
+//!   (seed-level parallelism only — evaluations themselves must be
+//!   sequential) that **steal [`SEED_BLOCK`]-sized blocks off one shared
+//!   atomic counter**, merging `(sum, min, argmin)` with a lowest-seed
+//!   tie-break; the block fold is grouping-invariant, so the result is
+//!   independent of both the worker count and the steal order (the
+//!   `_n` variants pin the worker count explicitly);
 //! * `BitwiseCondExp` becomes a true streaming conditional-expectation
 //!   walk: each half-space mean is a fresh parallel reduction, nothing is
 //!   materialized, and the trace/guarantee fields match the exhaustive
@@ -46,6 +49,7 @@
 
 use rayon::prelude::*;
 use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Width of one seed block: [`select_seed_blocks`] hands its evaluator up
 /// to this many **contiguous** seeds at a time, so cost functions can
@@ -159,10 +163,28 @@ where
     M: Fn() -> S + Sync,
     F: Fn(u64, &mut S) -> f64 + Sync,
 {
+    select_seed_with_n(seed_bits, strategy, 0, make_scratch, eval)
+}
+
+/// [`select_seed_with`] with an explicit worker count (`0` = auto); see
+/// [`select_seed_blocks_n`] for the sharding semantics.
+pub fn select_seed_with_n<S, M, F>(
+    seed_bits: u32,
+    strategy: SeedStrategy,
+    workers: usize,
+    make_scratch: M,
+    eval: F,
+) -> SeedSelection
+where
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(u64, &mut S) -> f64 + Sync,
+{
     // The scalar evaluator is a degenerate block evaluator.
-    select_seed_blocks(
+    select_seed_blocks_n(
         seed_bits,
         strategy,
+        workers,
         make_scratch,
         |seed0, costs, scratch| {
             for (i, c) in costs.iter_mut().enumerate() {
@@ -177,8 +199,8 @@ where
 ///
 /// `eval_block(seed0, costs, scratch)` must write
 /// `costs[i] = cost(seed0 + i)` for every `i < costs.len()`; blocks are
-/// contiguous, at most [`SEED_BLOCK`] long, and handed out in ascending
-/// order within each worker's chunk.  Because each cost must be a pure
+/// contiguous, at most [`SEED_BLOCK`] long, and aligned to block-index
+/// boundaries of the evaluated range.  Because each cost must be a pure
 /// function of its own seed, block grouping (and hence worker count) can
 /// never change the outcome; the selection is field-for-field identical
 /// to [`select_seed`] for integer-valued costs.
@@ -191,6 +213,37 @@ where
 pub fn select_seed_blocks<S, M, F>(
     seed_bits: u32,
     strategy: SeedStrategy,
+    make_scratch: M,
+    eval_block: F,
+) -> SeedSelection
+where
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(u64, &mut [f64], &mut S) + Sync,
+{
+    select_seed_blocks_n(seed_bits, strategy, 0, make_scratch, eval_block)
+}
+
+/// [`select_seed_blocks`] with an explicit worker count (`0` = auto: the
+/// `PARCOLOR_SEED_THREADS` env var, else all hardware threads).
+///
+/// Workers **steal seed blocks** off one shared atomic counter instead of
+/// owning fixed contiguous chunks, so a straggler block (dense
+/// neighborhood, cache miss storm) never idles the other workers.  The
+/// fold merges `(sum, min, argmin)` with an explicit lowest-seed
+/// tie-break, which makes the selection independent of the (nondeterministic)
+/// steal order: for integer-valued costs — every cost functional in this
+/// workspace — the result is bit-identical at every worker count.
+///
+/// Callers supplying **non-integer** costs keep a deterministic
+/// `best_seed`/`min_cost` (the min/argmin merge is order-invariant), but
+/// `sum` — and hence `mean_cost` — accumulates per-worker partials in
+/// steal order, so its low bits may differ run to run.  Round such costs
+/// to a fixed grid (or scale to integers) if an exact mean matters.
+pub fn select_seed_blocks_n<S, M, F>(
+    seed_bits: u32,
+    strategy: SeedStrategy,
+    workers: usize,
     make_scratch: M,
     eval_block: F,
 ) -> SeedSelection
@@ -218,7 +271,7 @@ where
         }
         SeedStrategy::FixedSubset(k) => {
             let k = k.clamp(1, space);
-            let fold = fold_seed_range(0, k, &make_scratch, &eval_block);
+            let fold = fold_seed_range(0, k, workers, &make_scratch, &eval_block);
             SeedSelection {
                 seed: fold.argmin,
                 cost: fold.min,
@@ -229,7 +282,7 @@ where
             }
         }
         SeedStrategy::Exhaustive => {
-            let fold = fold_seed_range(0, space, &make_scratch, &eval_block);
+            let fold = fold_seed_range(0, space, workers, &make_scratch, &eval_block);
             SeedSelection {
                 seed: fold.argmin,
                 cost: fold.min,
@@ -240,7 +293,7 @@ where
             }
         }
         SeedStrategy::BitwiseCondExp => {
-            streaming_bitwise_walk(seed_bits, &make_scratch, &eval_block)
+            streaming_bitwise_walk(seed_bits, workers, &make_scratch, &eval_block)
         }
     }
 }
@@ -253,17 +306,45 @@ struct RangeFold {
     argmin: u64,
 }
 
+/// Merge a partial fold into `acc` with the lowest-seed tie-break.  Using
+/// the same comparison inside every worker and across workers makes the
+/// argmin independent of how seeds were grouped into workers or blocks;
+/// sums are exact (hence grouping-invariant) whenever costs are
+/// integer-valued — true of every SSP cost functional in this workspace.
+#[inline]
+fn merge_fold(acc: &mut RangeFold, sum: f64, min: f64, argmin: u64) {
+    acc.sum += sum;
+    if min < acc.min || (min == acc.min && argmin < acc.argmin) {
+        acc.min = min;
+        acc.argmin = argmin;
+    }
+}
+
+const EMPTY_FOLD: RangeFold = RangeFold {
+    sum: 0.0,
+    min: f64::INFINITY,
+    argmin: u64::MAX,
+};
+
 /// Fold a block evaluator over seeds `start..start + len`, parallel over
-/// contiguous chunks.  Chunk results merge in ascending-seed order, so
-/// the outcome (including tie-breaks toward the lowest seed) is identical
-/// for any worker count; sums are exact whenever costs are integer-valued.
-fn fold_seed_range<S, M, F>(start: u64, len: u64, make_scratch: &M, eval_block: &F) -> RangeFold
+/// [`SEED_BLOCK`]-sized blocks with work stealing.  The merged result
+/// (including tie-breaks toward the lowest seed) is identical for any
+/// worker count; sums are exact whenever costs are integer-valued.
+fn fold_seed_range<S, M, F>(
+    start: u64,
+    len: u64,
+    workers: usize,
+    make_scratch: &M,
+    eval_block: &F,
+) -> RangeFold
 where
     S: Send,
     M: Fn() -> S + Sync,
     F: Fn(u64, &mut [f64], &mut S) + Sync,
 {
-    let mut pool: Vec<S> = (0..seed_workers(len)).map(|_| make_scratch()).collect();
+    let mut pool: Vec<S> = (0..seed_workers(len, workers))
+        .map(|_| make_scratch())
+        .collect();
     fold_seed_range_in(&mut pool, start, len, eval_block)
 }
 
@@ -271,9 +352,17 @@ where
 /// scratch per worker taken from `pool` (worker count = `pool.len()`), so
 /// callers issuing many folds (the streaming bitwise walk) construct
 /// arenas once and reuse them across folds instead of re-zeroing O(n)
-/// memory per half-space.  Each worker walks its chunk in [`SEED_BLOCK`]
-/// strides and accumulates the block's costs in ascending seed order —
-/// block grouping is invisible in the result.
+/// memory per half-space.
+///
+/// Work is distributed at **block granularity off one shared atomic
+/// counter**: each worker repeatedly claims the next unevaluated
+/// [`SEED_BLOCK`]-aligned block, so load imbalance between seeds (the
+/// cost of one evaluation depends on the outcome it simulates) never
+/// leaves a worker idle behind a fixed chunk boundary.  Which worker
+/// evaluates which block is nondeterministic; the *result* is not — the
+/// block fold is grouping-invariant (see [`merge_fold`]), so the merged
+/// `(sum, min, argmin)` is bit-identical to the serial walk for
+/// integer-valued costs.
 fn fold_seed_range_in<S, F>(pool: &mut [S], start: u64, len: u64, eval_block: &F) -> RangeFold
 where
     S: Send,
@@ -281,67 +370,71 @@ where
 {
     debug_assert!(len > 0 && !pool.is_empty());
     let workers = pool.len();
-    let serial = |from: u64, count: u64, scratch: &mut S| -> RangeFold {
-        let mut acc = RangeFold {
-            sum: 0.0,
-            min: f64::INFINITY,
-            argmin: from,
-        };
+    let end = start + len;
+    let run_blocks = |next: &AtomicU64, scratch: &mut S| -> RangeFold {
+        let mut acc = EMPTY_FOLD;
         let mut costs = [0.0f64; SEED_BLOCK];
-        let mut seed = from;
-        let end = from + count;
-        while seed < end {
+        loop {
+            let b = next.fetch_add(1, Ordering::Relaxed);
+            let seed = start + b * SEED_BLOCK as u64;
+            if seed >= end {
+                break;
+            }
             let blen = ((end - seed) as usize).min(SEED_BLOCK);
             let block = &mut costs[..blen];
             eval_block(seed, block, scratch);
+            let mut bsum = 0.0;
+            let mut bmin = f64::INFINITY;
+            let mut bargmin = u64::MAX;
             for (i, &c) in block.iter().enumerate() {
-                acc.sum += c;
-                if c < acc.min {
-                    acc.min = c;
-                    acc.argmin = seed + i as u64;
+                bsum += c;
+                if c < bmin {
+                    bmin = c;
+                    bargmin = seed + i as u64;
                 }
             }
-            seed += blen as u64;
+            merge_fold(&mut acc, bsum, bmin, bargmin);
         }
         acc
     };
     if workers <= 1 {
-        return serial(start, len, &mut pool[0]);
+        let next = AtomicU64::new(0);
+        return run_blocks(&next, &mut pool[0]);
     }
-    let per = len / workers as u64;
-    let extra = len % workers as u64;
+    let next = AtomicU64::new(0);
     let parts: Vec<RangeFold> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        let mut from = start;
-        for (w, scratch) in pool.iter_mut().enumerate() {
-            let count = per + u64::from((w as u64) < extra);
-            let serial = &serial;
-            handles.push(scope.spawn(move || serial(from, count, scratch)));
-            from += count;
-        }
+        let handles: Vec<_> = pool
+            .iter_mut()
+            .map(|scratch| {
+                let next = &next;
+                let run_blocks = &run_blocks;
+                scope.spawn(move || run_blocks(next, scratch))
+            })
+            .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    let mut acc = parts[0];
-    for p in &parts[1..] {
-        acc.sum += p.sum;
-        if p.min < acc.min {
-            acc.min = p.min;
-            acc.argmin = p.argmin;
-        }
+    let mut acc = EMPTY_FOLD;
+    for p in &parts {
+        merge_fold(&mut acc, p.sum, p.min, p.argmin);
     }
     acc
 }
 
-/// Worker threads for a fold over `len` seeds.  Tiny ranges stay serial —
-/// thread spawn overhead would dominate — larger ones use the machine.
-/// Overridable via `PARCOLOR_SEED_THREADS` (0 / unset = auto).
-fn seed_workers(len: u64) -> usize {
-    let hw = match std::env::var("PARCOLOR_SEED_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(t) if t > 0 => t,
-        _ => std::thread::available_parallelism().map_or(1, |p| p.get()),
+/// Worker threads for a fold over `len` seeds.  `requested = 0` means
+/// auto: the `PARCOLOR_SEED_THREADS` env var if set, else all hardware
+/// threads.  Tiny ranges stay serial — thread spawn overhead would
+/// dominate — and the count is capped so every worker has ≥ 32 seeds.
+fn seed_workers(len: u64, requested: usize) -> usize {
+    let hw = if requested > 0 {
+        requested
+    } else {
+        match std::env::var("PARCOLOR_SEED_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(t) if t > 0 => t,
+            _ => std::thread::available_parallelism().map_or(1, |p| p.get()),
+        }
     };
     if len < 64 {
         1
@@ -359,6 +452,7 @@ fn seed_workers(len: u64) -> usize {
 /// level, whose two folds jointly cover the entire space.
 fn streaming_bitwise_walk<S, M, F>(
     seed_bits: u32,
+    workers: usize,
     make_scratch: &M,
     eval_block: &F,
 ) -> SeedSelection
@@ -372,7 +466,7 @@ where
     // the 2·seed_bits half-space folds reuse these arenas instead of
     // constructing (and zeroing) fresh ones per fold.
     let top_block = 1u64 << (seed_bits - 1);
-    let mut pool: Vec<S> = (0..seed_workers(top_block.max(1)))
+    let mut pool: Vec<S> = (0..seed_workers(top_block.max(1), workers))
         .map(|_| make_scratch())
         .collect();
     let mut prefix: u64 = 0;
@@ -382,7 +476,7 @@ where
     for fixed in 0..seed_bits {
         let bit = seed_bits - 1 - fixed; // position being fixed this step
         let block = 1u64 << bit; // size of each half under the prefix
-        let w = seed_workers(block).min(pool.len());
+        let w = seed_workers(block, workers).min(pool.len());
         let f0 = fold_seed_range_in(&mut pool[..w], prefix, block, eval_block);
         let f1 = fold_seed_range_in(&mut pool[..w], prefix | block, block, eval_block);
         if fixed == 0 {
@@ -636,6 +730,57 @@ mod tests {
         assert_eq!(sel.seed, 0);
         let made = factories.load(Ordering::Relaxed);
         assert!(made <= 8, "scratch factories: {made} for 256 seeds");
+    }
+
+    /// The stolen-block fold must agree with the serial walk including
+    /// argmin tie-breaks, which the stealing merge resolves by explicit
+    /// seed comparison rather than chunk order.
+    #[test]
+    fn stealing_fold_breaks_ties_to_lowest_seed() {
+        // Constant cost: every seed ties; argmin must be the lowest.
+        let eval_block = |_s0: u64, out: &mut [f64], _: &mut ()| {
+            out.iter_mut().for_each(|o| *o = 3.0);
+        };
+        for workers in [1usize, 2, 5, 8] {
+            let mut pool = vec![(); workers];
+            let f = fold_seed_range_in(&mut pool, 0, 1 << 9, &eval_block);
+            assert_eq!(f.argmin, 0, "workers = {workers}");
+            assert_eq!(f.min, 3.0);
+            assert_eq!(f.sum, (1u64 << 9) as f64 * 3.0);
+        }
+        // Two tied minima: the lower seed must win at every worker count.
+        let eval_block = |s0: u64, out: &mut [f64], _: &mut ()| {
+            for (i, o) in out.iter_mut().enumerate() {
+                let s = s0 + i as u64;
+                *o = if s == 100 || s == 400 { 0.0 } else { 5.0 };
+            }
+        };
+        for workers in [1usize, 3, 7] {
+            let mut pool = vec![(); workers];
+            let f = fold_seed_range_in(&mut pool, 0, 1 << 9, &eval_block);
+            assert_eq!(f.argmin, 100, "workers = {workers}");
+        }
+    }
+
+    /// The explicit-worker entry points must return identical selections
+    /// at every worker count, for every strategy.
+    #[test]
+    fn explicit_worker_counts_are_deterministic() {
+        let cost = |s: u64| ((s * 131 + 17) % 23) as f64;
+        for strategy in [
+            SeedStrategy::Exhaustive,
+            SeedStrategy::BitwiseCondExp,
+            SeedStrategy::FixedSubset(200),
+        ] {
+            let reference = select_seed_with_n(9, strategy, 1, || (), |s, _| cost(s));
+            for workers in [2usize, 4, 8] {
+                let got = select_seed_with_n(9, strategy, workers, || (), |s, _| cost(s));
+                assert_eq!(reference.seed, got.seed, "{strategy:?} workers {workers}");
+                assert_eq!(reference.cost, got.cost, "{strategy:?} workers {workers}");
+                assert_eq!(reference.mean_cost, got.mean_cost, "{strategy:?}");
+                assert_eq!(reference.trace, got.trace, "{strategy:?}");
+            }
+        }
     }
 
     #[test]

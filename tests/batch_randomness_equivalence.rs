@@ -11,7 +11,8 @@
 //! `KWiseHash::eval_batch` must equal `eval` for every independence
 //! `k ∈ 1..=4`.
 
-use parcolor_local::tape::{CryptoTape, ForceScalar, Randomness, MIX_LANES};
+use parcolor_local::simd::{lane_eq_mask8, splitmix4, SPLITMIX_LANES};
+use parcolor_local::tape::{splitmix64, CryptoTape, ForceScalar, Randomness, MIX_LANES};
 use parcolor_prg::hashing::KWiseFamily;
 use parcolor_prg::{ChunkAssignment, Prg, PrgTape};
 use proptest::prelude::*;
@@ -109,6 +110,30 @@ proptest! {
             forced.fill_words(stream, &nodes, idx, &mut scalar);
             prop_assert_eq!(lanes, scalar);
         }
+    }
+
+    // The explicit SIMD kernels (AVX2 when compiled in, scalar fallback
+    // otherwise) must be bit-identical to the scalar mixer/compare they
+    // replace — the compile-time selection is invisible to callers.
+    #[test]
+    fn simd_kernels_match_scalar(
+        zs in proptest::collection::vec(any::<u64>(), SPLITMIX_LANES),
+        a in proptest::collection::vec(any::<u32>(), 8),
+        flip in 0usize..8,
+    ) {
+        let z: [u64; SPLITMIX_LANES] = [zs[0], zs[1], zs[2], zs[3]];
+        let got = splitmix4(z);
+        for l in 0..SPLITMIX_LANES {
+            prop_assert_eq!(got[l], splitmix64(z[l]), "lane {}", l);
+        }
+        let row: [u32; 8] = std::array::from_fn(|i| a[i]);
+        let mut other = row;
+        other[flip] = other[flip].wrapping_add(1);
+        let eq = lane_eq_mask8(&row, &other);
+        for s in 0..8 {
+            prop_assert_eq!(eq >> s & 1 == 1, row[s] == other[s], "lane {}", s);
+        }
+        prop_assert_eq!(lane_eq_mask8(&row, &row), 0xFF);
     }
 
     #[test]

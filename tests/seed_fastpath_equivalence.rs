@@ -20,9 +20,10 @@ use parcolor_core::{Graph, NodeId};
 use parcolor_graphgen::gnm;
 use parcolor_local::tape::{ForceScalar, Randomness};
 use parcolor_prg::{
-    select_seed, select_seed_blocks, select_seed_with, ChunkAssignment, Prg, PrgTape,
-    SeedSelection, SeedStrategy, SEED_BLOCK,
+    select_seed, select_seed_blocks, select_seed_blocks_n, select_seed_with, ChunkAssignment, Prg,
+    PrgTape, SeedSelection, SeedStrategy, SEED_BLOCK,
 };
+use proptest::prelude::*;
 
 const SEED_BITS: u32 = 6;
 
@@ -214,13 +215,13 @@ fn synch_color_trial_matches_reference_path() {
     let inst = D1lcInstance::delta_plus_one(g.clone());
     let state = ColoringState::new(&inst);
     let inliers: Vec<NodeId> = (1..14).collect();
-    let proc = SynchColorTrial {
-        g: &g,
-        set: StageSet::new(14, inliers.clone()),
-        cliques: vec![CliqueTrial { leader: 0, inliers }],
-        tolerance: 2,
-        round_tag: 1,
-    };
+    let proc = SynchColorTrial::new(
+        &g,
+        StageSet::new(14, inliers.clone()),
+        vec![CliqueTrial { leader: 0, inliers }],
+        2,
+        1,
+    );
     check_equivalence(&proc, &state, "SynchColorTrial");
 }
 
@@ -242,4 +243,188 @@ fn put_aside_matches_reference_path() {
         round_tag: 2,
     };
     check_equivalence(&proc, &state, "PutAside");
+}
+
+// ---------------------------------------------------------------------
+// PR 5 additions: slack-plane block coverage for every SspMode, a
+// property test pinning every procedure's `seed_cost_block` to the fused
+// scalar path, and worker-count invariance of the stolen-block fold.
+// ---------------------------------------------------------------------
+
+#[test]
+fn try_random_color_slack_target_matches_reference_path() {
+    let (inst, state) = partially_colored(150, 500, 9);
+    let set = active_uncolored(&state);
+    // Mixed targets: auto-succeed, reachable, unreachable, negative.
+    let targets: Vec<f64> = set
+        .active
+        .iter()
+        .enumerate()
+        .map(|(i, _)| match i % 4 {
+            0 => 0.0,
+            1 => 1.0,
+            2 => 3.0,
+            _ => -2.0,
+        })
+        .collect();
+    let proc = TryRandomColor::new(&inst.graph, set, SspMode::SlackTarget(targets), 4);
+    check_equivalence(&proc, &state, "TryRandomColor SlackTarget");
+}
+
+#[test]
+fn multi_trial_matches_reference_path_for_every_ssp() {
+    let (inst, state) = partially_colored(140, 420, 10);
+    for ssp in [
+        SspMode::Auto,
+        SspMode::SlackRatio(0.3),
+        SspMode::SlackTarget(
+            active_uncolored(&state)
+                .active
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (i % 3) as f64)
+                .collect(),
+        ),
+    ] {
+        let proc = MultiTrial::new(&inst.graph, active_uncolored(&state), 3, ssp.clone(), 2);
+        check_equivalence(&proc, &state, &format!("MultiTrial {ssp:?}"));
+    }
+}
+
+#[test]
+fn generate_slack_matches_reference_path_more_probs() {
+    for (seed, prob) in [(6u64, 0.05), (7, 0.5), (8, 0.95)] {
+        let (inst, state) = partially_colored(120, 380, seed);
+        let set = active_uncolored(&state);
+        let targets: Vec<f64> = set
+            .active
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (i % 4) as f64 - 1.0)
+            .collect();
+        let proc = GenerateSlack::new(&inst.graph, set, prob, targets, 5);
+        check_equivalence(&proc, &state, &format!("GenerateSlack p={prob}"));
+    }
+}
+
+/// Direct block-vs-fused pin: for a block of tapes, `seed_cost_block`
+/// must write exactly the per-seed `seed_cost_fused` values — including
+/// short and unit blocks (the tail/SingleSeed shapes).
+fn assert_block_matches_fused(proc: &dyn NormalProcedure, state: &ColoringState, ctx: &str) {
+    let prg = Prg::new(SEED_BITS);
+    let chunks = ChunkAssignment::PerNode;
+    let mut block_scratch = SimScratch::new(state.n());
+    let mut fused_scratch = SimScratch::new(state.n());
+    for seed0 in [0u64, 8, 56] {
+        for blen in [SEED_BLOCK, 3, 1] {
+            let tapes = prg.block_tapes(seed0, &chunks);
+            let refs: [&dyn Randomness; SEED_BLOCK] =
+                std::array::from_fn(|i| &tapes[i] as &dyn Randomness);
+            let mut costs = vec![0.0f64; blen];
+            proc.seed_cost_block(state, &refs[..blen], &mut block_scratch, &mut costs);
+            for (i, &got) in costs.iter().enumerate() {
+                let tape = PrgTape::new(prg, seed0 + i as u64, &chunks);
+                let want = proc.seed_cost_fused(state, &tape, &mut fused_scratch);
+                assert_eq!(
+                    got, want,
+                    "{ctx}: lane {i} of block at seed0 {seed0} (len {blen})"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Every procedure's block override equals the fused scalar path on
+    // random graphs, random sampling probabilities, and every SspMode.
+    #[test]
+    fn block_costs_match_fused_on_random_instances(
+        gseed in 0u64..10_000,
+        n in 30usize..70,
+        extra in 0usize..160,
+        prob in 0.05f64..0.95,
+        ratio in 0.0f64..1.0,
+        x in 1usize..5,
+        tol in 0usize..4,
+    ) {
+        let g = gnm(n, n + extra, gseed);
+        let inst = D1lcInstance::delta_plus_one(g.clone());
+        let state = ColoringState::new(&inst);
+        let full = StageSet::new(n, (0..n as NodeId).collect());
+        let targets: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 1.0).collect();
+        for ssp in [
+            SspMode::Auto,
+            SspMode::Colored,
+            SspMode::SlackRatio(ratio),
+            SspMode::SlackTarget(targets.clone()),
+        ] {
+            let proc = TryRandomColor::new(&g, full.clone(), ssp.clone(), 1);
+            assert_block_matches_fused(&proc, &state, &format!("TryRandomColor {ssp:?}"));
+            let proc = MultiTrial::new(&g, full.clone(), x, ssp.clone(), 2);
+            assert_block_matches_fused(&proc, &state, &format!("MultiTrial x{x} {ssp:?}"));
+        }
+        let proc = GenerateSlack::new(&g, full.clone(), prob, targets, 3);
+        assert_block_matches_fused(&proc, &state, "GenerateSlack");
+        // Two overlapping cliques exercise the last-writer deal/sample
+        // semantics of the clique procedures.
+        let half: Vec<NodeId> = (0..n as NodeId / 2).collect();
+        let rest: Vec<NodeId> = (n as NodeId / 4..n as NodeId).collect();
+        let proc = SynchColorTrial::new(
+            &g,
+            full.clone(),
+            vec![
+                CliqueTrial { leader: 0, inliers: half.clone() },
+                CliqueTrial { leader: n as NodeId - 1, inliers: rest.clone() },
+            ],
+            tol,
+            4,
+        );
+        assert_block_matches_fused(&proc, &state, "SynchColorTrial");
+        let proc = PutAside {
+            g: &g,
+            set: full,
+            cliques: vec![
+                CliquePutAside { clique_id: 0, inliers: half, prob, target: 2 },
+                CliquePutAside { clique_id: 1, inliers: rest, prob: prob / 2.0, target: 1 },
+            ],
+            round_tag: 5,
+        };
+        assert_block_matches_fused(&proc, &state, "PutAside");
+    }
+}
+
+/// The stolen-block sharded fold must select identically at every worker
+/// count on a real procedure (the Lemma 10 guarantee is per-selection,
+/// so any divergence would change the pipeline's output).
+#[test]
+fn sharded_search_is_worker_invariant_on_procedures() {
+    let (inst, state) = partially_colored(180, 540, 11);
+    let set = active_uncolored(&state);
+    let targets: Vec<f64> = set.active.iter().map(|_| 1.0).collect();
+    let proc = GenerateSlack::new(&inst.graph, set, 0.3, targets, 6);
+    let prg = Prg::new(SEED_BITS);
+    let chunks = ChunkAssignment::PerNode;
+    let run = |workers: usize, strategy: SeedStrategy| {
+        select_seed_blocks_n(
+            SEED_BITS,
+            strategy,
+            workers,
+            || SimScratch::new(state.n()),
+            |seed0, costs, scratch| {
+                let tapes = prg.block_tapes(seed0, &chunks);
+                let refs: [&dyn Randomness; SEED_BLOCK] =
+                    std::array::from_fn(|i| &tapes[i] as &dyn Randomness);
+                proc.seed_cost_block(&state, &refs[..costs.len()], scratch, costs);
+            },
+        )
+    };
+    for strategy in all_strategies() {
+        let reference = run(1, strategy);
+        for workers in [2usize, 3, 5, 8] {
+            let got = run(workers, strategy);
+            assert_selection_eq(&reference, &got, &format!("{strategy:?} workers {workers}"));
+        }
+    }
 }
