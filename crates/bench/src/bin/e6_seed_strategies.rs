@@ -108,9 +108,70 @@ fn main() {
         let fastpath_rows = fastpath_comparison();
         let block_rows = block_proc_comparison();
         let worker_rows = workers_matrix();
-        write_seed_search_json(&fastpath_rows, &block_rows, &worker_rows);
+        let engine_rows = engine_parallel_matrix();
+        write_seed_search_json(&fastpath_rows, &block_rows, &worker_rows, &engine_rows);
         hash_batch_comparison();
     }
+}
+
+/// Node-striped parallel round simulation: one `TryRandomColor` round on
+/// a large instance, evaluated through `simulate_into_par` at `workers ∈
+/// {1, 2, 4, 8}`.  The adoptions MUST be identical at every worker count
+/// (positional splice of pure stripes) — asserted here, so CI fails if
+/// striping ever changes a round outcome.
+fn engine_parallel_matrix() -> Vec<String> {
+    use parcolor_local::tape::CryptoTape;
+    let n = scaled(400_000, 40_000);
+    let g = gnm(n, n * 6, 11);
+    let inst = D1lcInstance::delta_plus_one(g.clone());
+    let state = ColoringState::new(&inst);
+    let set = StageSet::new(n, (0..n as NodeId).collect());
+    let proc = TryRandomColor::new(&g, set, SspMode::Auto, 5);
+    let tape = CryptoTape::new(0xE6E6);
+    let reps = scaled(20, 4);
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "\n# Node-striped round simulation, workers matrix (n = {n}, m = {}, \
+         {reps} rounds, host threads = {host_threads})",
+        g.m()
+    );
+    let mut t = Table::new(&["workers", "ms", "speedup vs 1", "adoptions"]);
+    let mut rows = Vec::new();
+    let mut base_ms = 0.0f64;
+    let mut reference: Option<Vec<(NodeId, u32)>> = None;
+    let pool = parcolor_exec::Executor::global();
+    for workers in [1usize, 2, 4, 8] {
+        let mut scratch = SimScratch::new(n);
+        // Warm-up evaluates once outside the timing (pool spawn, page
+        // faults, arena growth).
+        proc.simulate_into_par(&state, &tape, &mut scratch, pool, workers);
+        let (_, ms) = timed(|| {
+            for _ in 0..reps {
+                proc.simulate_into_par(&state, &tape, &mut scratch, pool, workers);
+            }
+        });
+        match &reference {
+            None => {
+                base_ms = ms;
+                reference = Some(scratch.adoptions.clone());
+            }
+            Some(adoptions) => {
+                assert_eq!(
+                    &scratch.adoptions, adoptions,
+                    "workers = {workers}: striped simulation changed the round outcome"
+                );
+            }
+        }
+        let scaling = base_ms / ms.max(1e-9);
+        t.row(&[s(workers), f1(ms), f2(scaling), s(scratch.adoptions.len())]);
+        rows.push(format!(
+            "    {{\"workers\": {workers}, \"ms\": {ms:.1}, \"speedup_vs_1\": {scaling:.2}, \
+             \"host_threads\": {host_threads}}}"
+        ));
+    }
+    t.print();
+    println!("\nIdentical adoptions at every worker count (asserted).");
+    rows
 }
 
 /// Seed-lane block evaluation vs the per-seed fused fallback for the
@@ -285,13 +346,20 @@ fn workers_matrix() -> Vec<String> {
     rows
 }
 
-fn write_seed_search_json(fastpath: &[String], blocks: &[String], workers: &[String]) {
+fn write_seed_search_json(
+    fastpath: &[String],
+    blocks: &[String],
+    workers: &[String],
+    engine: &[String],
+) {
     let json = format!(
         "{{\n  \"experiment\": \"e6_seed_search_fastpath\",\n  \"rows\": [\n{}\n  ],\n  \
-         \"block_procs\": [\n{}\n  ],\n  \"workers_matrix\": [\n{}\n  ]\n}}\n",
+         \"block_procs\": [\n{}\n  ],\n  \"workers_matrix\": [\n{}\n  ],\n  \
+         \"engine_parallel\": [\n{}\n  ]\n}}\n",
         fastpath.join(",\n"),
         blocks.join(",\n"),
-        workers.join(",\n")
+        workers.join(",\n"),
+        engine.join(",\n")
     );
     match std::fs::write("BENCH_seed_search.json", &json) {
         Ok(()) => println!("\nwrote BENCH_seed_search.json"),
@@ -385,9 +453,11 @@ fn fastpath_comparison() -> Vec<String> {
 /// tape-level batching alone.  Emits `BENCH_hash_batch.json`.
 fn hash_batch_comparison() {
     // Pin the fold to one worker so per-seed evaluation cost is what's
-    // measured (and recorded) — not thread scaling.
-    let prev_threads = std::env::var("PARCOLOR_SEED_THREADS").ok();
-    std::env::set_var("PARCOLOR_SEED_THREADS", "1");
+    // measured (and recorded) — not thread scaling.  `PARCOLOR_THREADS`
+    // is the knob with the highest precedence, so pinning it wins even
+    // when the deprecated `PARCOLOR_SEED_THREADS` alias is also set.
+    let prev_threads = std::env::var("PARCOLOR_THREADS").ok();
+    std::env::set_var("PARCOLOR_THREADS", "1");
 
     println!("\n# Batched randomness plane vs scalar tape (1 worker)");
 
@@ -519,7 +589,7 @@ fn hash_batch_comparison() {
     }
 
     match prev_threads {
-        Some(v) => std::env::set_var("PARCOLOR_SEED_THREADS", v),
-        None => std::env::remove_var("PARCOLOR_SEED_THREADS"),
+        Some(v) => std::env::set_var("PARCOLOR_THREADS", v),
+        None => std::env::remove_var("PARCOLOR_THREADS"),
     }
 }

@@ -8,9 +8,11 @@
 //! parcolor stats  <graph.col>
 //! ```
 //!
-//! `--workers` shards the derandomizer's seed search over W threads
-//! (0 = auto); the chosen seeds — and hence the coloring — are identical
-//! at every worker count.
+//! `--workers` runs the whole pipeline — seed search, striped round
+//! simulation, and the parallel reduces — on W executor workers (0 =
+//! auto: `PARCOLOR_THREADS`, or the deprecated `PARCOLOR_SEED_THREADS`
+//! alias, else all hardware threads); the chosen seeds — and hence the
+//! coloring — are identical at every worker count.
 //!
 //! Families for `gen`: `gnm` (param = m), `gnp` (param = p·1000),
 //! `regular` (param = d), `powerlaw` (param = avg-degree), `ring`,
@@ -70,7 +72,7 @@ fn cmd_solve(args: &[String]) {
     let params = Params::default()
         .with_seed_bits(seed_bits)
         .with_strategy(SeedStrategy::FixedSubset(16))
-        .with_seed_workers(workers);
+        .with_workers(workers);
     let sol = match flag_value(args, "--randomized") {
         Some(key) => Solver::randomized(params, key.parse().expect("key")).solve(&inst),
         None => Solver::deterministic(params).solve(&inst),

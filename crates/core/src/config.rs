@@ -46,11 +46,15 @@ pub struct Params {
     pub chunking: ChunkMode,
     /// Locality radius τ of the normal procedures (all of ours are O(1)).
     pub tau: u32,
-    /// Worker threads for the sharded seed search (`0` = auto: the
-    /// `PARCOLOR_SEED_THREADS` env var if set, else all hardware
-    /// threads).  Any value yields the identical chosen seed — the block
-    /// fold is grouping-invariant — so this is purely a throughput knob.
-    pub seed_workers: usize,
+    /// Worker threads for every parallel surface of the pipeline — the
+    /// sharded seed search, striped round simulation, and the
+    /// executor-backed reduces (`0` = auto: the `PARCOLOR_THREADS` env
+    /// var if set, the deprecated `PARCOLOR_SEED_THREADS` alias
+    /// otherwise, else all hardware threads).  Any value yields
+    /// bit-identical results — all reduces are grouping-invariant and
+    /// stripe splices are positional — so this is purely a throughput
+    /// knob.
+    pub workers: usize,
 
     // ---- degree thresholds (scaled substitutes for log⁷ n etc.) ----
     /// Low-degree threshold = `low_beta · ln(n)^low_exp`; nodes at or below
@@ -130,7 +134,7 @@ impl Default for Params {
             strategy: SeedStrategy::Exhaustive,
             chunking: ChunkMode::PerNode,
             tau: 1,
-            seed_workers: 0,
+            workers: 0,
             low_beta: 1.5,
             low_exp: 1.2,
             mid_degree_cap: None,
@@ -220,10 +224,17 @@ impl Params {
         self
     }
 
-    /// Set the seed-search worker count (`0` = auto).
-    pub fn with_seed_workers(mut self, workers: usize) -> Self {
-        self.seed_workers = workers;
+    /// Set the worker count for all parallel surfaces (`0` = auto).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
         self
+    }
+
+    /// Deprecated alias of [`Params::with_workers`], kept from when the
+    /// knob governed only the seed search.
+    #[deprecated(note = "use with_workers: the knob now governs every parallel surface")]
+    pub fn with_seed_workers(self, workers: usize) -> Self {
+        self.with_workers(workers)
     }
 
     /// Cap the mid-degree threshold (forces the partition recursion on

@@ -331,6 +331,14 @@ impl SimScratch {
         self.picks[v as usize]
     }
 
+    /// Split-borrow the randomness plane together with the dense pick
+    /// array (stamp-free, [`SimScratch::set_pick_raw`] contract) —
+    /// striped `simulate_into_par` overrides fill picks from plane
+    /// stripes in parallel and need both halves mutably at once.
+    pub fn plane_and_picks(&mut self) -> (&mut PickPlane, &mut [u32]) {
+        (&mut self.plane, &mut self.picks)
+    }
+
     /// Cache a boolean (e.g. "sampled") for `v`.
     #[inline]
     pub fn set_bit(&mut self, v: NodeId, b: bool) {
@@ -438,6 +446,29 @@ pub trait NormalProcedure: Sync {
     fn simulate_into(&self, state: &ColoringState, rng: &dyn Randomness, scratch: &mut SimScratch) {
         let out = self.simulate(state, rng);
         scratch.load_outcome(&out);
+    }
+
+    /// [`NormalProcedure::simulate_into`] with node-striped parallelism
+    /// on the executor pool — the once-per-step application of the
+    /// chosen seed (or of true randomness), where the instance is large
+    /// and the evaluation is not already inside a seed-search worker.
+    ///
+    /// Must be **bit-identical** to `simulate_into` at every worker
+    /// count: overrides may parallelize only node stripes whose values
+    /// are independent given the previous round's state (batch tape
+    /// draws, per-node clash predicates), and must keep every
+    /// order-sensitive effect (adoption recording) in sequential active
+    /// order.  The default simply runs the sequential path.
+    fn simulate_into_par(
+        &self,
+        state: &ColoringState,
+        rng: &dyn Randomness,
+        scratch: &mut SimScratch,
+        pool: &parcolor_exec::Executor,
+        workers: usize,
+    ) {
+        let _ = (pool, workers);
+        self.simulate_into(state, rng, scratch);
     }
 
     /// [`NormalProcedure::seed_cost`] evaluated against the scratch arena
@@ -590,6 +621,9 @@ pub struct Runner<'g> {
     pub chaos_deferrals: usize,
     /// Reusable arena for applying the chosen seed (derandomized mode).
     scratch: Option<SimScratch>,
+    /// Worker count for striped round simulation (`0` = auto); the seed
+    /// search has its own copy inside [`Mode::Derandomized`].
+    workers: usize,
 }
 
 impl<'g> Runner<'g> {
@@ -610,6 +644,7 @@ impl<'g> Runner<'g> {
             chaos: params.chaos_defer_prob,
             chaos_deferrals: 0,
             scratch: None,
+            workers: params.workers,
         }
     }
 
@@ -638,7 +673,7 @@ impl<'g> Runner<'g> {
                 prg: Prg::new(params.seed_bits),
                 strategy: params.strategy,
                 chunks,
-                workers: params.seed_workers,
+                workers: params.workers,
             },
             engine,
             mpc,
@@ -649,6 +684,7 @@ impl<'g> Runner<'g> {
             chaos: params.chaos_defer_prob,
             chaos_deferrals: 0,
             scratch: None,
+            workers: params.workers,
         }
     }
 
@@ -705,7 +741,22 @@ impl<'g> Runner<'g> {
                     inner: tape,
                     stream,
                 };
-                (proc.simulate(state, &keyed), None)
+                // Scratch-arena path (outcome-equivalent to `simulate` —
+                // pinned by the framework tests) so the one simulation per
+                // step can stripe across the executor pool.
+                let n = state.n();
+                let scratch = self.scratch.get_or_insert_with(|| SimScratch::new(n));
+                if scratch.n() != n {
+                    *scratch = SimScratch::new(n);
+                }
+                proc.simulate_into_par(
+                    state,
+                    &keyed,
+                    scratch,
+                    parcolor_exec::Executor::global(),
+                    self.workers,
+                );
+                (scratch.to_outcome(), None)
             }
             Mode::Derandomized {
                 prg,
@@ -748,7 +799,13 @@ impl<'g> Runner<'g> {
                 if scratch.n() != n {
                     *scratch = SimScratch::new(n);
                 }
-                proc.simulate_into(st, &keyed, scratch);
+                proc.simulate_into_par(
+                    st,
+                    &keyed,
+                    scratch,
+                    parcolor_exec::Executor::global(),
+                    self.workers,
+                );
                 (scratch.to_outcome(), Some(sel))
             }
         };

@@ -25,6 +25,13 @@ const S_PICK: u64 = 1;
 const S_SAMPLE: u64 = 2;
 const S_PERM: u64 = 3;
 
+/// Active-node stripe dealt per steal by the striped
+/// `simulate_into_par` overrides.  Doubles as the parallelism floor:
+/// with fewer than two full stripes of active nodes the fork/join
+/// overhead beats the win and the override falls back to the
+/// sequential arena path.
+const PAR_STRIPE: usize = 1024;
+
 /// Strong-success-property variants used across the pipeline.
 #[derive(Clone, Debug)]
 pub enum SspMode {
@@ -579,6 +586,102 @@ impl NormalProcedure for TryRandomColor<'_> {
                 scratch.record_adoption(v, c);
             }
         }
+    }
+
+    /// Node-striped parallel round simulation: given the previous
+    /// round's state, each active node's pick and clash bit depend only
+    /// on read-only inputs, so the draw/scatter pass and the clash pass
+    /// both run as stolen stripes on the executor pool.  The adoption
+    /// scan stays sequential in active order, so the recorded outcome is
+    /// bit-identical to [`NormalProcedure::simulate_into`] at every
+    /// worker count.
+    fn simulate_into_par(
+        &self,
+        state: &ColoringState,
+        rng: &dyn Randomness,
+        scratch: &mut SimScratch,
+        pool: &parcolor_exec::Executor,
+        workers: usize,
+    ) {
+        let n_active = self.set.active.len();
+        let w = parcolor_exec::resolve_workers(workers)
+            .min(n_active / PAR_STRIPE)
+            .max(1);
+        if w <= 1 {
+            self.simulate_into(state, rng, scratch);
+            return;
+        }
+        scratch.begin();
+        let mut plane = std::mem::take(&mut scratch.plane);
+        let stream = S_PICK ^ self.round_tag << 8;
+        let active = &self.set.active[..];
+        {
+            let (_, picks) = scratch.plane_and_picks();
+            // Pass 1: bounds gathered sequentially (one cheap scan),
+            // then the bounded draws land stripe-by-stripe on the pool —
+            // the tape's batch contract makes each node's draw
+            // independent of stripe geometry — and each worker scatters
+            // its stripe's picks (active nodes are unique, so the
+            // destinations are disjoint).
+            plane.bounds.clear();
+            plane
+                .bounds
+                .extend(active.iter().map(|&v| state.palette(v).len() as u64));
+            plane.vals.resize(n_active, 0);
+            {
+                let bounds = &plane.bounds[..];
+                let scatter = parcolor_exec::ScatterMut::new(picks);
+                let scatter = &scatter;
+                parcolor_exec::par_fill(
+                    pool,
+                    w,
+                    &mut plane.vals,
+                    PAR_STRIPE,
+                    move |start, stripe| {
+                        let nodes = &active[start..start + stripe.len()];
+                        rng.fill_below(
+                            stream,
+                            nodes,
+                            0,
+                            &bounds[start..start + stripe.len()],
+                            stripe,
+                        );
+                        for (i, &v) in nodes.iter().enumerate() {
+                            let c = state.palette(v)[stripe[i] as usize];
+                            // SAFETY: active nodes are unique, so
+                            // workers write disjoint slots.
+                            unsafe { scatter.write(v as usize, c) };
+                        }
+                    },
+                );
+            }
+            // Pass 2: clash bits, active-aligned.  Clashing is
+            // symmetric and reads only picks written in pass 1, so each
+            // node evaluates its own bit independently.
+            plane.bits.resize(n_active, false);
+            let picks: &[u32] = picks;
+            parcolor_exec::par_fill(pool, w, &mut plane.bits, PAR_STRIPE, |start, stripe| {
+                for (i, bit) in stripe.iter_mut().enumerate() {
+                    let v = active[start + i];
+                    let c = picks[v as usize];
+                    *bit = self
+                        .g
+                        .neighbors(v)
+                        .iter()
+                        .any(|&u| self.set.contains(u) && picks[u as usize] == c);
+                }
+            });
+        }
+        // Pass 3: adoption is order-sensitive (`record_adoption` appends)
+        // and stays sequential over the active order — exactly the order
+        // the sequential path records.
+        for (i, &v) in self.set.active.iter().enumerate() {
+            if !plane.bits[i] {
+                let c = scratch.pick_raw(v);
+                scratch.record_adoption(v, c);
+            }
+        }
+        scratch.plane = plane;
     }
 
     fn seed_cost_scratch(&self, state: &ColoringState, scratch: &mut SimScratch) -> f64 {

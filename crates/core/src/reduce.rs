@@ -307,7 +307,16 @@ pub fn low_space_partition(
                 .count();
             d_in as f64 * bins as f64 / d as f64
         })
-        .fold(0.0f64, f64::max);
+        .fold(|| f64::NEG_INFINITY, f64::max)
+        .reduce(|| f64::NEG_INFINITY, f64::max);
+    // NEG_INFINITY identity so a genuine max survives the reduce even if
+    // every ratio were negative (a 0.0 identity would clamp it); with no
+    // participating nodes the max stays -inf, reported as 0.0.
+    let worst_ratio = if worst_ratio.is_finite() {
+        worst_ratio
+    } else {
+        0.0
+    };
 
     let stats = PartitionStats {
         bins,
@@ -428,5 +437,29 @@ mod tests {
         let out = low_space_partition(&inst.graph, &state, &[], 8, 3, 16);
         assert!(out.mid.is_empty());
         assert!(out.bins.iter().all(Vec::is_empty));
+    }
+
+    /// Regression: the worst-ratio reduce uses a `NEG_INFINITY` identity
+    /// (a `0.0` identity would silently clamp the max); the -inf of an
+    /// empty participation set must be reported as 0.0, never leak out.
+    #[test]
+    fn worst_ratio_identity_is_neutral() {
+        // Threshold above every degree → no high nodes participate.
+        let inst = dense_instance(100, 6, 6);
+        let state = ColoringState::new(&inst);
+        let nodes = state.uncolored_nodes();
+        let out = low_space_partition(&inst.graph, &state, &nodes, 10_000, 3, 16);
+        assert_eq!(out.stats.high_nodes, 0);
+        assert_eq!(out.stats.worst_degree_ratio, 0.0);
+        // Nonempty participation: the reduce identity must not distort
+        // the max — every surviving high node's realized ratio is a
+        // lower bound on the reported worst ratio.
+        let inst = dense_instance(600, 120, 1);
+        let state = ColoringState::new(&inst);
+        let nodes = state.uncolored_nodes();
+        let out = low_space_partition(&inst.graph, &state, &nodes, 40, 3, 128);
+        assert!(out.stats.high_nodes > 0);
+        assert!(out.stats.worst_degree_ratio.is_finite());
+        assert!(out.stats.worst_degree_ratio > 0.0);
     }
 }

@@ -246,7 +246,7 @@ impl Cluster {
         let local_sums: Vec<u64> = d
             .parts
             .par_iter()
-            .map(|part| part.iter().map(&value).sum())
+            .map(|part| part.iter().map(&value).sum::<u64>())
             .collect();
         // Converge-cast local sums to coordinator, scatter offsets back.
         self.metrics.add_rounds(2);

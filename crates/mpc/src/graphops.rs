@@ -71,7 +71,8 @@ impl NodeMpc {
                 self.metrics.observe_machine(w, s);
                 (1usize, w)
             })
-            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+            .fold(|| (0usize, 0u64), |a, b| (a.0 + b.0, a.1 + b.1))
+            .reduce(|| (0usize, 0u64), |a, b| (a.0 + b.0, a.1 + b.1));
         self.metrics.add_rounds(1);
         self.metrics.add_messages(msgs);
         count
@@ -93,7 +94,8 @@ impl NodeMpc {
                 self.metrics.observe_machine(w, s);
                 (1usize, w)
             })
-            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+            .fold(|| (0usize, 0u64), |a, b| (a.0 + b.0, a.1 + b.1))
+            .reduce(|| (0usize, 0u64), |a, b| (a.0 + b.0, a.1 + b.1));
         self.metrics.add_rounds(1);
         self.metrics.add_messages(msgs);
         count

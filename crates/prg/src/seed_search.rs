@@ -34,22 +34,22 @@
 //! * the caller provides a `make_scratch` factory and an
 //!   `eval(seed, &mut scratch)` closure, so each worker thread owns one
 //!   scratch arena and seed evaluations allocate nothing after warm-up;
-//! * seeds are folded in parallel with scoped `std::thread`s
-//!   (seed-level parallelism only — evaluations themselves must be
-//!   sequential) that **steal [`SEED_BLOCK`]-sized blocks off one shared
-//!   atomic counter**, merging `(sum, min, argmin)` with a lowest-seed
-//!   tie-break; the block fold is grouping-invariant, so the result is
-//!   independent of both the worker count and the steal order (the
-//!   `_n` variants pin the worker count explicitly);
+//! * seeds are folded on the **persistent work-stealing pool** of
+//!   [`parcolor_exec`] (seed-level parallelism only — evaluations
+//!   themselves must be sequential): workers steal [`SEED_BLOCK`]-sized
+//!   blocks off one shared atomic counter, merging `(sum, min, argmin)`
+//!   with a lowest-seed tie-break; the block fold is grouping-invariant,
+//!   so the result is independent of both the worker count and the steal
+//!   order (the `_n` variants pin the worker count explicitly);
 //! * `BitwiseCondExp` becomes a true streaming conditional-expectation
 //!   walk: each half-space mean is a fresh parallel reduction, nothing is
 //!   materialized, and the trace/guarantee fields match the exhaustive
 //!   table walk bit-for-bit for integer-valued costs (SSP failure counts —
 //!   verified by `tests/seed_fastpath_equivalence.rs`).
 
+use parcolor_exec::{Executor, SumMinArgmin};
 use rayon::prelude::*;
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Width of one seed block: [`select_seed_blocks`] hands its evaluator up
 /// to this many **contiguous** seeds at a time, so cost functions can
@@ -225,7 +225,8 @@ where
 }
 
 /// [`select_seed_blocks`] with an explicit worker count (`0` = auto: the
-/// `PARCOLOR_SEED_THREADS` env var, else all hardware threads).
+/// `PARCOLOR_THREADS` env var — `PARCOLOR_SEED_THREADS` is honored as a
+/// deprecated alias — else all hardware threads).
 ///
 /// Workers **steal seed blocks** off one shared atomic counter instead of
 /// owning fixed contiguous chunks, so a straggler block (dense
@@ -298,33 +299,11 @@ where
     }
 }
 
-/// Partial aggregate of a seed-range fold.
-#[derive(Clone, Copy, Debug)]
-struct RangeFold {
-    sum: f64,
-    min: f64,
-    argmin: u64,
-}
-
-/// Merge a partial fold into `acc` with the lowest-seed tie-break.  Using
-/// the same comparison inside every worker and across workers makes the
-/// argmin independent of how seeds were grouped into workers or blocks;
-/// sums are exact (hence grouping-invariant) whenever costs are
-/// integer-valued — true of every SSP cost functional in this workspace.
-#[inline]
-fn merge_fold(acc: &mut RangeFold, sum: f64, min: f64, argmin: u64) {
-    acc.sum += sum;
-    if min < acc.min || (min == acc.min && argmin < acc.argmin) {
-        acc.min = min;
-        acc.argmin = argmin;
-    }
-}
-
-const EMPTY_FOLD: RangeFold = RangeFold {
-    sum: 0.0,
-    min: f64::INFINITY,
-    argmin: u64::MAX,
-};
+/// Partial aggregate of a seed-range fold: the grouping-invariant
+/// `(sum, min, argmin)` reduce, now provided by the executor crate (the
+/// scheduler was extracted from this module — `parcolor_exec` keeps the
+/// lowest-index tie-break semantics the seed search pioneered).
+type RangeFold = SumMinArgmin;
 
 /// Fold a block evaluator over seeds `start..start + len`, parallel over
 /// [`SEED_BLOCK`]-sized blocks with work stealing.  The merged result
@@ -354,13 +333,14 @@ where
 /// arenas once and reuse them across folds instead of re-zeroing O(n)
 /// memory per half-space.
 ///
-/// Work is distributed at **block granularity off one shared atomic
-/// counter**: each worker repeatedly claims the next unevaluated
-/// [`SEED_BLOCK`]-aligned block, so load imbalance between seeds (the
+/// Runs on the workspace's persistent work-stealing pool
+/// ([`Executor::global`]): workers steal [`SEED_BLOCK`]-aligned blocks
+/// off one shared atomic counter, so load imbalance between seeds (the
 /// cost of one evaluation depends on the outcome it simulates) never
-/// leaves a worker idle behind a fixed chunk boundary.  Which worker
-/// evaluates which block is nondeterministic; the *result* is not — the
-/// block fold is grouping-invariant (see [`merge_fold`]), so the merged
+/// leaves a worker idle behind a fixed chunk boundary — and no threads
+/// are spawned per call.  Which worker evaluates which block is
+/// nondeterministic; the *result* is not — the block fold is
+/// grouping-invariant (see [`SumMinArgmin`]), so the merged
 /// `(sum, min, argmin)` is bit-identical to the serial walk for
 /// integer-valued costs.
 fn fold_seed_range_in<S, F>(pool: &mut [S], start: u64, len: u64, eval_block: &F) -> RangeFold
@@ -369,73 +349,35 @@ where
     F: Fn(u64, &mut [f64], &mut S) + Sync,
 {
     debug_assert!(len > 0 && !pool.is_empty());
-    let workers = pool.len();
-    let end = start + len;
-    let run_blocks = |next: &AtomicU64, scratch: &mut S| -> RangeFold {
-        let mut acc = EMPTY_FOLD;
-        let mut costs = [0.0f64; SEED_BLOCK];
-        loop {
-            let b = next.fetch_add(1, Ordering::Relaxed);
-            let seed = start + b * SEED_BLOCK as u64;
-            if seed >= end {
-                break;
-            }
-            let blen = ((end - seed) as usize).min(SEED_BLOCK);
-            let block = &mut costs[..blen];
+    parcolor_exec::par_fold_in(
+        Executor::global(),
+        pool,
+        start..start + len,
+        SEED_BLOCK as u64,
+        || SumMinArgmin::EMPTY,
+        |seed, blen, mut acc: SumMinArgmin, scratch: &mut S| {
+            let mut costs = [0.0f64; SEED_BLOCK];
+            let block = &mut costs[..blen as usize];
             eval_block(seed, block, scratch);
-            let mut bsum = 0.0;
-            let mut bmin = f64::INFINITY;
-            let mut bargmin = u64::MAX;
+            let mut b = SumMinArgmin::EMPTY;
             for (i, &c) in block.iter().enumerate() {
-                bsum += c;
-                if c < bmin {
-                    bmin = c;
-                    bargmin = seed + i as u64;
-                }
+                b.observe(seed + i as u64, c);
             }
-            merge_fold(&mut acc, bsum, bmin, bargmin);
-        }
-        acc
-    };
-    if workers <= 1 {
-        let next = AtomicU64::new(0);
-        return run_blocks(&next, &mut pool[0]);
-    }
-    let next = AtomicU64::new(0);
-    let parts: Vec<RangeFold> = std::thread::scope(|scope| {
-        let handles: Vec<_> = pool
-            .iter_mut()
-            .map(|scratch| {
-                let next = &next;
-                let run_blocks = &run_blocks;
-                scope.spawn(move || run_blocks(next, scratch))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let mut acc = EMPTY_FOLD;
-    for p in &parts {
-        merge_fold(&mut acc, p.sum, p.min, p.argmin);
-    }
-    acc
+            acc = acc.merge(b);
+            acc
+        },
+        |a, b| a.merge(b),
+    )
 }
 
 /// Worker threads for a fold over `len` seeds.  `requested = 0` means
-/// auto: the `PARCOLOR_SEED_THREADS` env var if set, else all hardware
-/// threads.  Tiny ranges stay serial — thread spawn overhead would
-/// dominate — and the count is capped so every worker has ≥ 32 seeds.
+/// auto: the `PARCOLOR_THREADS` env var if set (with
+/// `PARCOLOR_SEED_THREADS` honored as a deprecated alias), else all
+/// hardware threads — see [`parcolor_exec::resolve_workers`].  Tiny
+/// ranges stay serial — scheduling overhead would dominate — and the
+/// count is capped so every worker has ≥ 32 seeds.
 fn seed_workers(len: u64, requested: usize) -> usize {
-    let hw = if requested > 0 {
-        requested
-    } else {
-        match std::env::var("PARCOLOR_SEED_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            Some(t) if t > 0 => t,
-            _ => std::thread::available_parallelism().map_or(1, |p| p.get()),
-        }
-    };
+    let hw = parcolor_exec::resolve_workers(requested);
     if len < 64 {
         1
     } else {
