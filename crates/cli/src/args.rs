@@ -1,0 +1,203 @@
+//! Argument validation for the `parcolor` binary — pure functions that
+//! return `Result` instead of panicking, so the binary can print one
+//! friendly diagnostic and exit with a meaningful status (2 for usage
+//! errors, 1 for runtime failures) and tests can assert on the messages.
+
+/// Validated options for `parcolor solve`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveOpts {
+    /// Input graph path (`.col`).
+    pub input: String,
+    /// Output coloring path (`-o`), stdout when absent.
+    pub out: Option<String>,
+    /// Randomized mode key (`--randomized <key>`); deterministic when absent.
+    pub randomized: Option<u64>,
+    /// PRG seed length (`--seed-bits`, default 6).
+    pub seed_bits: u32,
+    /// Worker threads (`--workers`, default 0 = auto).
+    pub workers: usize,
+}
+
+/// Seed lengths outside this range are either degenerate or blow the
+/// exhaustive/fixed-subset search past any practical budget.
+pub const SEED_BITS_RANGE: std::ops::RangeInclusive<u32> = 1..=24;
+
+fn parsed<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag} expects a number, got {value:?}"))
+}
+
+/// Parse and validate the arguments of `parcolor solve` (everything
+/// after the subcommand).  Errors are complete sentences ready for
+/// `eprintln!` — no panics on malformed input.
+pub fn parse_solve_args<S: AsRef<str>>(args: &[S]) -> Result<SolveOpts, String> {
+    let mut opts = SolveOpts {
+        input: String::new(),
+        out: None,
+        randomized: None,
+        seed_bits: 6,
+        workers: 0,
+    };
+    let mut seen_seed_bits = false;
+    let mut it = args.iter().map(AsRef::as_ref);
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&str, String> {
+            it.next().ok_or(format!("{flag} requires a value"))
+        };
+        match arg {
+            "-o" => {
+                let v = value_of("-o")?;
+                if opts.out.replace(v.to_string()).is_some() {
+                    return Err("-o given twice".into());
+                }
+            }
+            "--randomized" => {
+                let v = value_of("--randomized")?;
+                if opts
+                    .randomized
+                    .replace(parsed("--randomized", v)?)
+                    .is_some()
+                {
+                    return Err("--randomized given twice".into());
+                }
+            }
+            "--seed-bits" => {
+                if seen_seed_bits {
+                    return Err("--seed-bits given twice".into());
+                }
+                seen_seed_bits = true;
+                opts.seed_bits = parsed("--seed-bits", value_of("--seed-bits")?)?;
+            }
+            "--workers" => {
+                opts.workers = parsed("--workers", value_of("--workers")?)?;
+            }
+            flag if flag.starts_with('-') && flag.len() > 1 => {
+                return Err(format!("unknown flag {flag}"));
+            }
+            positional => {
+                if !opts.input.is_empty() {
+                    return Err(format!(
+                        "unexpected extra argument {positional:?} (input is {:?})",
+                        opts.input
+                    ));
+                }
+                opts.input = positional.to_string();
+            }
+        }
+    }
+    if opts.input.is_empty() {
+        return Err("missing input graph (expected a .col path)".into());
+    }
+    if !SEED_BITS_RANGE.contains(&opts.seed_bits) {
+        return Err(format!(
+            "--seed-bits must be in {}..={}, got {}",
+            SEED_BITS_RANGE.start(),
+            SEED_BITS_RANGE.end(),
+            opts.seed_bits
+        ));
+    }
+    if opts.randomized.is_some() && seen_seed_bits {
+        return Err(
+            "--randomized and --seed-bits contradict: the randomized solver draws colors \
+             directly and never runs the seed search"
+                .into(),
+        );
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<SolveOpts, String> {
+        parse_solve_args(args)
+    }
+
+    #[test]
+    fn accepts_minimal_and_full_invocations() {
+        let o = parse(&["g.col"]).unwrap();
+        assert_eq!(o.input, "g.col");
+        assert_eq!((o.seed_bits, o.workers), (6, 0));
+        assert!(o.out.is_none() && o.randomized.is_none());
+
+        let o = parse(&[
+            "g.col",
+            "-o",
+            "c.txt",
+            "--seed-bits",
+            "10",
+            "--workers",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(o.out.as_deref(), Some("c.txt"));
+        assert_eq!((o.seed_bits, o.workers), (10, 4));
+
+        // Flags may precede the positional.
+        let o = parse(&["--workers", "2", "g.col"]).unwrap();
+        assert_eq!(o.input, "g.col");
+    }
+
+    #[test]
+    fn rejects_missing_input() {
+        let e = parse(&[]).unwrap_err();
+        assert!(e.contains("missing input"), "{e}");
+        let e = parse(&["-o", "out.txt"]).unwrap_err();
+        assert!(e.contains("missing input"), "{e}");
+    }
+
+    #[test]
+    fn rejects_malformed_numbers_without_panicking() {
+        for bad in [
+            vec!["g.col", "--seed-bits", "ten"],
+            vec!["g.col", "--workers", "-3"],
+            vec!["g.col", "--randomized", "0x12"],
+        ] {
+            let e = parse(&bad).unwrap_err();
+            assert!(e.contains("expects a number"), "{bad:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_seed_bits() {
+        assert!(parse(&["g.col", "--seed-bits", "0"])
+            .unwrap_err()
+            .contains("1..=24"));
+        assert!(parse(&["g.col", "--seed-bits", "25"])
+            .unwrap_err()
+            .contains("1..=24"));
+        assert!(parse(&["g.col", "--seed-bits", "24"]).is_ok());
+    }
+
+    #[test]
+    fn rejects_contradictory_flags() {
+        let e = parse(&["g.col", "--randomized", "7", "--seed-bits", "8"]).unwrap_err();
+        assert!(e.contains("contradict"), "{e}");
+        // --randomized alone is fine (default bits are not "given").
+        assert!(parse(&["g.col", "--randomized", "7"]).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_values_unknown_flags_and_duplicates() {
+        assert!(parse(&["g.col", "-o"])
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse(&["g.col", "--seed-bits"])
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse(&["g.col", "--frobnicate"])
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse(&["a.col", "b.col"])
+            .unwrap_err()
+            .contains("unexpected extra argument"));
+        assert!(parse(&["g.col", "-o", "a", "-o", "b"])
+            .unwrap_err()
+            .contains("twice"));
+        assert!(parse(&["g.col", "--seed-bits", "8", "--seed-bits", "9"])
+            .unwrap_err()
+            .contains("twice"));
+    }
+}

@@ -1,11 +1,14 @@
 //! `parcolor` — deterministic (degree+1)-list coloring from the shell.
 //!
 //! ```text
-//! parcolor solve  <graph.col> [-o coloring.txt] [--randomized <key>] [--seed-bits B]
-//!                 [--workers W]
-//! parcolor verify <graph.col> <coloring.txt>
-//! parcolor gen    <family> <n> <param> [seed] [-o graph.col]
-//! parcolor stats  <graph.col>
+//! parcolor solve       <graph.col> [-o coloring.txt] [--randomized <key>] [--seed-bits B]
+//!                      [--workers W]
+//! parcolor verify      <graph.col> <coloring.txt>
+//! parcolor gen         <family> <n> <param> [seed] [-o graph.col]
+//! parcolor stats       <graph.col>
+//! parcolor coordinator <graph.col> --listen HOST:PORT [--min-workers K] [--seed-bits B]
+//!                      [--strategy ex|bw|fs:K|ss:S] [--workers W] [-o coloring.txt]
+//! parcolor worker      --connect HOST:PORT [--workers W]
 //! ```
 //!
 //! `--workers` runs the whole pipeline — seed search, striped round
@@ -14,20 +17,38 @@
 //! alias, else all hardware threads); the chosen seeds — and hence the
 //! coloring — are identical at every worker count.
 //!
+//! `coordinator` serves the deterministic solve to a fleet: workers
+//! connect, lease seed ranges, and return grouping-invariant aggregates,
+//! so the coloring is bit-identical to `parcolor solve` on one machine —
+//! with any number of workers, including zero (the coordinator degrades
+//! to the local search if the fleet dies).  See the `parcolor-dist`
+//! crate docs for the protocol and the lease-lifecycle contract.
+//!
 //! Families for `gen`: `gnm` (param = m), `gnp` (param = p·1000),
 //! `regular` (param = d), `powerlaw` (param = avg-degree), `ring`,
 //! `torus` (param = side).
 
+use parcolor_cli::args::parse_solve_args;
+use parcolor_cli::job::{decode_job, encode_job, parse_strategy};
 use parcolor_cli::{instance_of, parse_coloring, parse_dimacs, write_coloring, write_dimacs};
-use parcolor_core::{Params, SeedStrategy, Solver};
+use parcolor_core::{Params, SeedStrategy, Solution, Solver};
+use parcolor_dist::{run_worker, DistConfig, DistCoordinator};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::exit;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  parcolor solve  <graph.col> [-o out.txt] [--randomized <key>] [--seed-bits B] [--workers W]\n  parcolor verify <graph.col> <coloring.txt>\n  parcolor gen    <gnm|gnp|regular|powerlaw|ring|torus> <n> <param> [seed] [-o out.col]\n  parcolor stats  <graph.col>"
+        "usage:\n  parcolor solve       <graph.col> [-o out.txt] [--randomized <key>] [--seed-bits B] [--workers W]\n  parcolor verify      <graph.col> <coloring.txt>\n  parcolor gen         <gnm|gnp|regular|powerlaw|ring|torus> <n> <param> [seed] [-o out.col]\n  parcolor stats       <graph.col>\n  parcolor coordinator <graph.col> --listen HOST:PORT [--min-workers K] [--seed-bits B] [--strategy S] [--workers W] [-o out.txt]\n  parcolor worker      --connect HOST:PORT [--workers W]"
     );
+    exit(2)
+}
+
+/// Print a usage-level diagnostic for `subcmd` and exit 2.
+fn die_usage(subcmd: &str, msg: &str) -> ! {
+    eprintln!("parcolor {subcmd}: {msg}");
+    eprintln!("(run `parcolor` with no arguments for usage)");
     exit(2)
 }
 
@@ -45,6 +66,8 @@ fn main() {
         Some("verify") => cmd_verify(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("coordinator") => cmd_coordinator(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
         _ => usage(),
     }
 }
@@ -56,29 +79,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn cmd_solve(args: &[String]) {
-    let path = args.first().unwrap_or_else(|| usage());
-    let g = parse_dimacs(open(path)).unwrap_or_else(|e| {
-        eprintln!("parse error: {e}");
-        exit(1)
-    });
-    let inst = instance_of(g);
-    let seed_bits: u32 = flag_value(args, "--seed-bits")
-        .map(|s| s.parse().expect("--seed-bits"))
-        .unwrap_or(6);
-    let workers: usize = flag_value(args, "--workers")
-        .map(|s| s.parse().expect("--workers"))
-        .unwrap_or(0);
-    let params = Params::default()
-        .with_seed_bits(seed_bits)
-        .with_strategy(SeedStrategy::FixedSubset(16))
-        .with_workers(workers);
-    let sol = match flag_value(args, "--randomized") {
-        Some(key) => Solver::randomized(params, key.parse().expect("key")).solve(&inst),
-        None => Solver::deterministic(params).solve(&inst),
-    };
-    inst.verify_coloring(&sol.colors)
-        .expect("internal: invalid");
+fn report_solution(inst: &parcolor_core::D1lcInstance, sol: &Solution) {
     eprintln!(
         "solved: n={} m={} Δ={}  MPC rounds={}  LOCAL rounds={}  peak machine words={}",
         inst.n(),
@@ -88,15 +89,165 @@ fn cmd_solve(args: &[String]) {
         sol.cost.local_rounds,
         sol.cost.max_machine_words
     );
-    match flag_value(args, "-o") {
+}
+
+fn emit_coloring(out: Option<&str>, colors: &[u32]) {
+    match out {
         Some(out) => {
-            let f = BufWriter::new(File::create(out).expect("create output"));
-            write_coloring(f, &sol.colors).expect("write");
+            let f = BufWriter::new(File::create(out).unwrap_or_else(|e| {
+                eprintln!("cannot create {out}: {e}");
+                exit(1)
+            }));
+            write_coloring(f, colors).expect("write");
             eprintln!("coloring written to {out}");
         }
         None => {
-            write_coloring(std::io::stdout().lock(), &sol.colors).expect("write");
+            write_coloring(std::io::stdout().lock(), colors).expect("write");
         }
+    }
+}
+
+fn cmd_solve(args: &[String]) {
+    let opts = parse_solve_args(args).unwrap_or_else(|e| die_usage("solve", &e));
+    let g = parse_dimacs(open(&opts.input)).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        exit(1)
+    });
+    let inst = instance_of(g);
+    let params = Params::default()
+        .with_seed_bits(opts.seed_bits)
+        .with_strategy(SeedStrategy::FixedSubset(16))
+        .with_workers(opts.workers);
+    let sol = match opts.randomized {
+        Some(key) => Solver::randomized(params, key).solve(&inst),
+        None => Solver::deterministic(params).solve(&inst),
+    };
+    inst.verify_coloring(&sol.colors)
+        .expect("internal: invalid");
+    report_solution(&inst, &sol);
+    emit_coloring(opts.out.as_deref(), &sol.colors);
+}
+
+fn cmd_coordinator(args: &[String]) {
+    let sub = "coordinator";
+    let input = args
+        .iter()
+        .find(|a| !a.starts_with('-') && is_positional(args, a))
+        .unwrap_or_else(|| die_usage(sub, "missing input graph (expected a .col path)"));
+    let listen = flag_value(args, "--listen")
+        .unwrap_or_else(|| die_usage(sub, "--listen HOST:PORT is required"));
+    let min_workers: usize = parse_flag_or(args, "--min-workers", 0, sub);
+    let seed_bits: u32 = parse_flag_or(args, "--seed-bits", 6, sub);
+    let workers: usize = parse_flag_or(args, "--workers", 0, sub);
+    if !parcolor_cli::args::SEED_BITS_RANGE.contains(&seed_bits) {
+        die_usage(
+            sub,
+            &format!("--seed-bits must be in 1..=24, got {seed_bits}"),
+        );
+    }
+    let strategy = match flag_value(args, "--strategy") {
+        Some(tok) => parse_strategy(tok).unwrap_or_else(|e| die_usage(sub, &e)),
+        None => SeedStrategy::FixedSubset(16),
+    };
+
+    let g = parse_dimacs(open(input)).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        exit(1)
+    });
+    let job = encode_job(&g, seed_bits, strategy);
+    // Decode our own encoding: coordinator and workers build (instance,
+    // params) through the exact same path, so the replicas cannot
+    // disagree on a default the job header doesn't carry.
+    let (inst, params) = decode_job(&job).expect("internal: job codec roundtrip");
+    let params = params.with_workers(workers);
+
+    let cfg = DistConfig {
+        min_workers,
+        ..DistConfig::default()
+    };
+    let coordinator = Arc::new(DistCoordinator::bind(listen, job, cfg).unwrap_or_else(|e| {
+        eprintln!("cannot listen on {listen}: {e}");
+        exit(1)
+    }));
+    eprintln!(
+        "coordinator listening on {} (waiting for {} worker(s))",
+        coordinator.local_addr(),
+        min_workers
+    );
+    let sol = Solver::deterministic(params)
+        .with_seed_searcher(coordinator.clone())
+        .solve(&inst);
+    inst.verify_coloring(&sol.colors)
+        .expect("internal: invalid");
+    let stats = coordinator.stats();
+    coordinator.shutdown();
+    report_solution(&inst, &sol);
+    eprintln!(
+        "cluster: searches={} folds={} remote_units={} local_units={} granted={} reissued={} expired={} orphaned={} duplicates={} evictions={} disconnects={}",
+        stats.searches,
+        stats.folds,
+        stats.remote_units,
+        stats.local_units,
+        stats.granted,
+        stats.reissued,
+        stats.expired,
+        stats.orphaned,
+        stats.duplicates,
+        stats.evictions,
+        stats.disconnects
+    );
+    emit_coloring(flag_value(args, "-o"), &sol.colors);
+}
+
+/// Is `arg` a positional (i.e. not the value of the flag preceding it)?
+fn is_positional(args: &[String], arg: &String) -> bool {
+    let i = args
+        .iter()
+        .position(|a| std::ptr::eq(a, arg))
+        .unwrap_or(usize::MAX);
+    i == 0 || !args[i - 1].starts_with('-')
+}
+
+/// Parse `flag`'s value or exit 2 with a friendly message.
+fn parse_flag_or<T: std::str::FromStr>(args: &[String], flag: &str, default: T, sub: &str) -> T {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| die_usage(sub, &format!("{flag} expects a number, got {v:?}"))),
+    }
+}
+
+fn cmd_worker(args: &[String]) {
+    let sub = "worker";
+    let addr = flag_value(args, "--connect")
+        .unwrap_or_else(|| die_usage(sub, "--connect HOST:PORT is required"));
+    let workers: usize = parse_flag_or(args, "--workers", 0, sub);
+    eprintln!("worker connecting to {addr}");
+    let outcome = run_worker(addr, DistConfig::default(), |job, searcher| {
+        let (inst, params) = decode_job(job).unwrap_or_else(|e| {
+            eprintln!("coordinator sent an undecodable job: {e}");
+            exit(1)
+        });
+        let sol = Solver::deterministic(params.with_workers(workers))
+            .with_seed_searcher(searcher.clone())
+            .solve(&inst);
+        inst.verify_coloring(&sol.colors)
+            .expect("internal: replica produced an invalid coloring");
+        let stats = searcher.stats();
+        eprintln!(
+            "worker replica done: n={} served_units={} reconnects={} adopted={} standalone={}",
+            inst.n(),
+            stats.served_units,
+            stats.reconnects,
+            stats.adopted,
+            searcher.is_standalone()
+        );
+        searcher.finish();
+    });
+    if let Err(e) = outcome {
+        eprintln!("cannot join cluster at {addr}: {e}");
+        exit(1);
     }
 }
 

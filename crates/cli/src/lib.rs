@@ -125,6 +125,9 @@ pub fn instance_of(g: Graph) -> D1lcInstance {
     D1lcInstance::delta_plus_one(g)
 }
 
+pub mod args;
+pub mod job;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -578,6 +578,64 @@ pub struct StepReport {
     pub selection: Option<SeedSelection>,
 }
 
+/// The block evaluator a [`SeedSearcher`] receives: writes
+/// `costs[i] = cost(seed0 + i)` into a short block using the given
+/// scratch arena, per the [`NormalProcedure::seed_cost_block`] contract.
+pub type BlockEval<'a> = &'a (dyn Fn(u64, &mut [f64], &mut SimScratch) + Sync);
+
+/// Pluggable seed-search backend — the hook through which a solve's seed
+/// searches can run somewhere other than this process's executor pool
+/// (e.g. `parcolor-dist`'s coordinator, which leases seed blocks to a
+/// fleet, or its worker, which serves leases and adopts the broadcast
+/// selection).
+///
+/// Contract: `select` must return the same [`SeedSelection`] the local
+/// [`select_seed_blocks_n`] path would return for the same
+/// `(seed_bits, strategy, eval_block)` — every cost is a pure function
+/// of its seed and the reduce is grouping-invariant, so any backend
+/// that folds each seed exactly once (deduplicating retries) satisfies
+/// this by construction.  `n` sizes the per-worker [`SimScratch`]
+/// arenas.
+///
+/// Searches within one solve are issued sequentially and in a
+/// deterministic order (the solver tree is walked depth-first and the
+/// rayon shim's `collect` terminal is sequential); backends that
+/// replicate solver state across machines may rely on that order.
+pub trait SeedSearcher: Send + Sync {
+    /// Run one seed search.
+    fn select(
+        &self,
+        seed_bits: u32,
+        strategy: SeedStrategy,
+        workers: usize,
+        n: usize,
+        eval_block: BlockEval,
+    ) -> SeedSelection;
+}
+
+/// The default backend: [`select_seed_blocks_n`] on the in-process
+/// work-stealing pool.
+pub struct LocalSeedSearcher;
+
+impl SeedSearcher for LocalSeedSearcher {
+    fn select(
+        &self,
+        seed_bits: u32,
+        strategy: SeedStrategy,
+        workers: usize,
+        n: usize,
+        eval_block: BlockEval,
+    ) -> SeedSelection {
+        select_seed_blocks_n(
+            seed_bits,
+            strategy,
+            workers,
+            || SimScratch::new(n),
+            |seed0, costs, scratch: &mut SimScratch| eval_block(seed0, costs, scratch),
+        )
+    }
+}
+
 /// Execution mode: Lemma 4 (randomized) or Lemma 10 (derandomized).
 pub enum Mode {
     /// True(-standing) randomness with the given master key.
@@ -596,6 +654,10 @@ pub enum Mode {
         /// Seed-search worker threads (`0` = auto); any count selects
         /// the identical seed (the block fold is grouping-invariant).
         workers: usize,
+        /// Where seed searches run: the in-process pool by default, or a
+        /// distributed backend (any backend selects the identical seed —
+        /// see [`SeedSearcher`]).
+        searcher: std::sync::Arc<dyn SeedSearcher>,
     },
 }
 
@@ -652,6 +714,22 @@ impl<'g> Runner<'g> {
     /// `PowerColoring` mode this computes the `G^{4τ}` coloring up front
     /// (Theorem 12 does this once, in `O(τ + log* n)` rounds).
     pub fn derandomized(graph: &'g Graph, params: &Params, n_global: usize) -> Self {
+        Self::derandomized_with(
+            graph,
+            params,
+            n_global,
+            std::sync::Arc::new(LocalSeedSearcher),
+        )
+    }
+
+    /// [`Runner::derandomized`] with an explicit seed-search backend
+    /// (the distributed coordinator/worker layers plug in here).
+    pub fn derandomized_with(
+        graph: &'g Graph,
+        params: &Params,
+        n_global: usize,
+        searcher: std::sync::Arc<dyn SeedSearcher>,
+    ) -> Self {
         let cfg = MpcConfig::new(n_global.max(2), graph.m().max(1), params.phi);
         let mpc = NodeMpc::new(cfg);
         let mut engine = RoundEngine::new();
@@ -674,6 +752,7 @@ impl<'g> Runner<'g> {
                 strategy: params.strategy,
                 chunks,
                 workers: params.workers,
+                searcher,
             },
             engine,
             mpc,
@@ -763,31 +842,30 @@ impl<'g> Runner<'g> {
                 strategy,
                 chunks,
                 workers,
+                searcher,
             } => {
                 // Fast path: scratch-buffer simulation, one arena per
                 // seed-search worker, sequential inner simulation, seeds
                 // evaluated in blocks so procedures can amortize their
                 // scans across the block's seed lanes; blocks are dealt
                 // to workers by atomic stealing (grouping-invariant).
+                // The search itself runs wherever the backend says —
+                // in-process pool or a distributed fleet; either way the
+                // selection is identical (see `SeedSearcher`).
                 let st: &ColoringState = state;
                 let n = st.n();
-                let sel = select_seed_blocks_n(
-                    prg.seed_bits(),
-                    *strategy,
-                    *workers,
-                    || SimScratch::new(n),
-                    |seed0, costs, scratch| {
-                        let tapes = prg.block_tapes(seed0, chunks);
-                        let keyed: [StreamTape<PrgTape>; SEED_BLOCK] =
-                            std::array::from_fn(|i| StreamTape {
-                                inner: &tapes[i],
-                                stream,
-                            });
-                        let refs: [&dyn Randomness; SEED_BLOCK] =
-                            std::array::from_fn(|i| &keyed[i] as &dyn Randomness);
-                        proc.seed_cost_block(st, &refs[..costs.len()], scratch, costs);
-                    },
-                );
+                let eval_block = |seed0: u64, costs: &mut [f64], scratch: &mut SimScratch| {
+                    let tapes = prg.block_tapes(seed0, chunks);
+                    let keyed: [StreamTape<PrgTape>; SEED_BLOCK] =
+                        std::array::from_fn(|i| StreamTape {
+                            inner: &tapes[i],
+                            stream,
+                        });
+                    let refs: [&dyn Randomness; SEED_BLOCK] =
+                        std::array::from_fn(|i| &keyed[i] as &dyn Randomness);
+                    proc.seed_cost_block(st, &refs[..costs.len()], scratch, costs);
+                };
+                let sel = searcher.select(prg.seed_bits(), *strategy, *workers, n, &eval_block);
                 debug_assert!(sel.satisfies_guarantee());
                 let tape = PrgTape::new(*prg, sel.seed, chunks);
                 let keyed = StreamTape {

@@ -54,10 +54,13 @@ pub mod reduce;
 pub mod solver;
 
 pub use config::{ChunkMode, Params};
-pub use framework::{NormalProcedure, Outcome, Runner, StepReport};
+pub use framework::{
+    BlockEval, LocalSeedSearcher, NormalProcedure, Outcome, Runner, SeedSearcher, SimScratch,
+    StepReport,
+};
 pub use instance::{ColoringState, D1lcInstance, PaletteArena, NO_COLOR};
 pub use solver::{Cost, Solution, SolveMode, SolveStats, Solver};
 
 // Re-export the substrate types users need to build instances.
 pub use parcolor_local::graph::{Graph, NodeId};
-pub use parcolor_prg::SeedStrategy;
+pub use parcolor_prg::{SeedSelection, SeedStrategy};

@@ -16,7 +16,7 @@
 //! the last bin and `G_mid` are sequential dependencies (*sum*).
 
 use crate::config::Params;
-use crate::framework::{Runner, StepReport};
+use crate::framework::{Runner, SeedSearcher, StepReport};
 use crate::hknt::pipeline::{color_middle, MidReport};
 use crate::instance::{ColoringState, D1lcInstance};
 use crate::lowdeg::color_low_degree;
@@ -126,6 +126,10 @@ pub struct Solver {
     pub params: Params,
     /// Deterministic (Theorem 1) or randomized (Lemma 4).
     pub mode: SolveMode,
+    /// Seed-search backend for every derandomized runner in the solve
+    /// tree (`None` = in-process pool).  Any backend honoring the
+    /// [`SeedSearcher`] contract yields the identical coloring.
+    seed_searcher: Option<std::sync::Arc<dyn SeedSearcher>>,
 }
 
 impl Solver {
@@ -134,6 +138,7 @@ impl Solver {
         Solver {
             params,
             mode: SolveMode::Deterministic,
+            seed_searcher: None,
         }
     }
 
@@ -142,7 +147,15 @@ impl Solver {
         Solver {
             params,
             mode: SolveMode::Randomized { key },
+            seed_searcher: None,
         }
+    }
+
+    /// Route every seed search of this solve through `searcher` — the
+    /// distributed coordinator/worker backends plug in here.
+    pub fn with_seed_searcher(mut self, searcher: std::sync::Arc<dyn SeedSearcher>) -> Self {
+        self.seed_searcher = Some(searcher);
+        self
     }
 
     /// Solve the instance; the returned coloring is verified before return.
@@ -289,7 +302,12 @@ impl Solver {
         let low_thr = self.params.low_degree_threshold(n_orig);
 
         let mut runner = match self.mode {
-            SolveMode::Deterministic => Runner::derandomized(g, &self.params, n_orig),
+            SolveMode::Deterministic => match &self.seed_searcher {
+                Some(s) => {
+                    Runner::derandomized_with(g, &self.params, n_orig, std::sync::Arc::clone(s))
+                }
+                None => Runner::derandomized(g, &self.params, n_orig),
+            },
             SolveMode::Randomized { key } => {
                 // Distinct keys per recursion site keep sub-solves independent.
                 Runner::randomized(g, &self.params, key ^ (depth as u64) << 32, n_orig)

@@ -1,0 +1,108 @@
+//! Loopback cluster harness: coordinator + N workers + optional chaos
+//! proxies, all in one process, for the e2e suite and the bench.
+//!
+//! [`solve_on_cluster`] runs the full distributed solve and returns
+//! every participant's solution, so tests can assert the strongest
+//! property the design promises: the coordinator's coloring **and**
+//! every worker replica's coloring are bit-identical to the plain
+//! single-machine solve — under any chaos schedule.  (Bit-identity is
+//! also the end-to-end dedup proof: a double-merged duplicate would
+//! perturb `mean_cost` and change a bitwise walk's chosen seed.)
+
+use crate::chaos::{ChaosConfig, ChaosProxy};
+use crate::coordinator::{DistCoordinator, DistStats};
+use crate::worker::run_worker;
+use crate::DistConfig;
+use parcolor_core::{D1lcInstance, Params, Solution, Solver};
+use std::sync::Arc;
+
+/// Everything a cluster run produced.
+pub struct ClusterOutcome {
+    /// The coordinator's solution (the authoritative one).
+    pub coordinator: Solution,
+    /// Each worker replica's solution (`None` if that worker could
+    /// never complete its initial handshake).
+    pub workers: Vec<Option<Solution>>,
+    /// Coordinator-side lease/failure counters.
+    pub stats: DistStats,
+    /// Which workers degraded to standalone mode.
+    pub standalone: Vec<bool>,
+}
+
+/// Solve `job` on a loopback cluster of `nworkers` workers, the i-th
+/// connected through `chaos[i]` (if given, else directly).  `decode`
+/// reconstructs `(instance, params)` from the job bytes on every node —
+/// coordinator and workers alike — which is what keeps the replicas
+/// deterministic twins.
+pub fn solve_on_cluster<B>(
+    job: &[u8],
+    decode: B,
+    nworkers: usize,
+    chaos: &[Option<ChaosConfig>],
+    cfg: DistConfig,
+) -> ClusterOutcome
+where
+    B: Fn(&[u8]) -> (D1lcInstance, Params) + Sync,
+{
+    let coordinator =
+        Arc::new(DistCoordinator::bind("127.0.0.1:0", job.to_vec(), cfg.clone()).expect("bind"));
+    let target = coordinator.local_addr();
+    let decode = &decode;
+
+    let (coord_solution, worker_results) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..nworkers {
+            let proxy = chaos
+                .get(i)
+                .and_then(|c| *c)
+                .map(|c| ChaosProxy::start(target, c).expect("proxy"));
+            let addr = proxy.as_ref().map(|p| p.addr()).unwrap_or(target);
+            let wcfg = cfg.clone();
+            handles.push(scope.spawn(move || {
+                let _proxy = proxy; // keep the proxy alive for the run
+                run_worker(&addr.to_string(), wcfg, |job, searcher| {
+                    let (inst, params) = decode(job);
+                    let sol = Solver::deterministic(params)
+                        .with_seed_searcher(searcher.clone())
+                        .solve(&inst);
+                    (sol, searcher.is_standalone())
+                })
+                .ok()
+            }));
+        }
+
+        let (inst, params) = decode(job);
+        let sol = Solver::deterministic(params)
+            .with_seed_searcher(Arc::clone(&coordinator) as Arc<dyn parcolor_core::SeedSearcher>)
+            .solve(&inst);
+
+        let results: Vec<Option<(Solution, bool)>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .collect();
+        (sol, results)
+    });
+
+    let stats = coordinator.stats();
+    coordinator.shutdown();
+    let mut workers = Vec::new();
+    let mut standalone = Vec::new();
+    for r in worker_results {
+        match r {
+            Some((sol, alone)) => {
+                workers.push(Some(sol));
+                standalone.push(alone);
+            }
+            None => {
+                workers.push(None);
+                standalone.push(false);
+            }
+        }
+    }
+    ClusterOutcome {
+        coordinator: coord_solution,
+        workers,
+        stats,
+        standalone,
+    }
+}

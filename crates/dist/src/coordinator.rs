@@ -1,0 +1,609 @@
+//! The coordinator: leases seed-range units to a fleet, re-issues what
+//! expires or orphans, dedups completions, and falls back to local
+//! evaluation when the fleet is gone.
+//!
+//! [`DistCoordinator`] implements [`SeedSearcher`], so it plugs
+//! straight into `Solver::with_seed_searcher`.  Strategy logic is not
+//! duplicated here: each search runs [`select_seed_folded`] against a
+//! [`RangeFolder`] whose `fold_range` leases units out instead of
+//! folding in-process — the selection is therefore field-for-field the
+//! local path's by construction (see the crate docs for the exactness
+//! argument).
+
+use crate::frame::{write_frame, FrameReader};
+use crate::proto::{Msg, PROTO_VERSION};
+use crate::DistConfig;
+use parcolor_core::{BlockEval, SeedSearcher, SimScratch};
+use parcolor_exec::{LeaseTable, SumMinArgmin};
+use parcolor_prg::{
+    fold_seed_range_in, seed_workers, select_seed_folded, RangeFolder, SeedSelection, SeedStrategy,
+    SEED_BLOCK,
+};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The lease granted to the coordinator's own local-fallback path.
+const LOCAL_WORKER: u64 = 0;
+
+/// Counters the coordinator accumulates across the whole solve
+/// (aggregating each fold's [`parcolor_exec::LeaseStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistStats {
+    /// Seed searches served.
+    pub searches: u64,
+    /// Range folds served (searches may fold many ranges).
+    pub folds: u64,
+    /// Folds that leased units to the fleet (the rest ran locally).
+    pub remote_folds: u64,
+    /// Leases granted, including re-issues.
+    pub granted: u64,
+    /// Units granted more than once (expiry, orphaning, or fallback).
+    pub reissued: u64,
+    /// Leases that blew their deadline.
+    pub expired: u64,
+    /// Leases released because their worker died.
+    pub orphaned: u64,
+    /// Unit completions dropped as duplicates (unit already done).
+    pub duplicates: u64,
+    /// Results for a fold that already concluded (late stragglers).
+    pub stale_results: u64,
+    /// Units merged from worker results.
+    pub remote_units: u64,
+    /// Units the coordinator folded itself (fallback path).
+    pub local_units: u64,
+    /// Workers evicted for heartbeat silence.
+    pub evictions: u64,
+    /// Worker connections lost (EOF, I/O error, or `Bye`).
+    pub disconnects: u64,
+}
+
+struct Peer {
+    stream: TcpStream,
+    last_seen: u64,
+}
+
+enum Event {
+    Msg(u64, Msg),
+    Gone(u64),
+}
+
+struct Shared {
+    cfg: DistConfig,
+    job: Vec<u8>,
+    start: Instant,
+    history: Mutex<Vec<SeedSelection>>,
+    peers: Mutex<HashMap<u64, Peer>>,
+    events: Mutex<VecDeque<Event>>,
+    events_cv: Condvar,
+    next_worker: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn push_event(&self, ev: Event) {
+        self.events.lock().unwrap().push_back(ev);
+        self.events_cv.notify_one();
+    }
+
+    /// Drain all queued events, waiting up to `wait_ms` if none are
+    /// queued yet.
+    fn drain_events(&self, wait_ms: u64) -> Vec<Event> {
+        let mut q = self.events.lock().unwrap();
+        if q.is_empty() {
+            let (q2, _) = self
+                .events_cv
+                .wait_timeout(q, Duration::from_millis(wait_ms))
+                .unwrap();
+            q = q2;
+        }
+        q.drain(..).collect()
+    }
+
+    /// Remove `id` from the peer map, closing its socket.  Returns
+    /// whether the peer was still registered (so callers count each
+    /// disconnect exactly once even when the writer and the reader both
+    /// notice the death).
+    fn drop_peer(&self, id: u64) -> bool {
+        match self.peers.lock().unwrap().remove(&id) {
+            Some(p) => {
+                let _ = p.stream.shutdown(Shutdown::Both);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+struct CoordState {
+    next_search: u64,
+    next_fold: u64,
+    waited_for_fleet: bool,
+    stats: DistStats,
+}
+
+/// Coordinator endpoint: owns the listener, the per-connection reader
+/// threads, and the lease bookkeeping of every fold.  One instance
+/// serves one solve (its searches arrive sequentially through
+/// [`SeedSearcher::select`]).
+pub struct DistCoordinator {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    state: Mutex<CoordState>,
+    accept_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+    reader_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl DistCoordinator {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting workers.
+    /// `job` is the opaque payload every `Welcome` carries — whatever
+    /// the workers need to reconstruct the instance (the CLI's codec
+    /// lives in `parcolor-cli`).
+    pub fn bind(addr: &str, job: Vec<u8>, cfg: DistConfig) -> io::Result<DistCoordinator> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            job,
+            start: Instant::now(),
+            history: Mutex::new(Vec::new()),
+            peers: Mutex::new(HashMap::new()),
+            events: Mutex::new(VecDeque::new()),
+            events_cv: Condvar::new(),
+            next_worker: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let reader_handles = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            let handles = Arc::clone(&reader_handles);
+            std::thread::spawn(move || accept_loop(listener, shared, handles))
+        };
+        Ok(DistCoordinator {
+            shared,
+            addr: local,
+            state: Mutex::new(CoordState {
+                next_search: 0,
+                next_fold: 0,
+                waited_for_fleet: false,
+                stats: DistStats::default(),
+            }),
+            accept_handle: Mutex::new(Some(accept_handle)),
+            reader_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Currently connected workers.
+    pub fn connected_workers(&self) -> usize {
+        self.shared.peers.lock().unwrap().len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DistStats {
+        self.state.lock().unwrap().stats
+    }
+
+    /// Broadcast `Bye`, close every connection, and stop the accept
+    /// loop.  Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut peers = self.shared.peers.lock().unwrap();
+            for (_, peer) in peers.iter_mut() {
+                let _ = write_frame(&mut peer.stream, &Msg::Bye.encode());
+                let _ = peer.stream.shutdown(Shutdown::Both);
+            }
+            peers.clear();
+        }
+        if let Some(h) = self.accept_handle.lock().unwrap().take() {
+            let _ = h.join();
+        }
+        for h in self.reader_handles.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Wait (bounded) for the configured fleet before the first search,
+    /// so benches measure distribution rather than a race the
+    /// coordinator wins alone.
+    fn wait_for_fleet(&self) {
+        let cfg = &self.shared.cfg;
+        if cfg.min_workers == 0 {
+            return;
+        }
+        let deadline = Instant::now() + Duration::from_millis(cfg.min_worker_wait_ms);
+        while self.connected_workers() < cfg.min_workers && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(cfg.poll_ms.max(1)));
+        }
+    }
+}
+
+impl Drop for DistCoordinator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl SeedSearcher for DistCoordinator {
+    fn select(
+        &self,
+        seed_bits: u32,
+        strategy: SeedStrategy,
+        workers: usize,
+        n: usize,
+        eval_block: BlockEval,
+    ) -> SeedSelection {
+        let mut st = self.state.lock().unwrap();
+        if !st.waited_for_fleet {
+            st.waited_for_fleet = true;
+            drop(st);
+            self.wait_for_fleet();
+            st = self.state.lock().unwrap();
+        }
+        let search_id = st.next_search;
+        st.next_search += 1;
+        let mut folder = LeasingFolder {
+            shared: &self.shared,
+            st: &mut st,
+            search_id,
+            n,
+            workers,
+            eval_block,
+            pool: Vec::new(),
+        };
+        let sel = select_seed_folded(seed_bits, strategy, &mut folder);
+        st.stats.searches += 1;
+
+        // Publish: record the selection (late joiners get it in their
+        // Welcome) and broadcast it to the fleet.  History is locked
+        // before peers everywhere, so a concurrent handshake either
+        // snapshots this selection or is registered before the send.
+        let mut dead = Vec::new();
+        {
+            let mut history = self.shared.history.lock().unwrap();
+            history.push(sel.clone());
+            let wire = Msg::Chosen {
+                search_id,
+                selection: sel.clone(),
+            }
+            .encode();
+            let mut peers = self.shared.peers.lock().unwrap();
+            for (&id, peer) in peers.iter_mut() {
+                if write_frame(&mut peer.stream, &wire).is_err() {
+                    dead.push(id);
+                }
+            }
+        }
+        for id in dead {
+            if self.shared.drop_peer(id) {
+                st.stats.disconnects += 1;
+            }
+        }
+        sel
+    }
+}
+
+/// The [`RangeFolder`] that leases.  Lives for one search; `pool` is
+/// its local-evaluation scratch arena (fallbacks and short folds).
+struct LeasingFolder<'a, 'b> {
+    shared: &'a Shared,
+    st: &'a mut CoordState,
+    search_id: u64,
+    n: usize,
+    workers: usize,
+    eval_block: BlockEval<'b>,
+    pool: Vec<SimScratch>,
+}
+
+fn unit_range(start: u64, len: u64, unit_len: u64, unit: u32) -> (u64, u64) {
+    let ustart = start + unit as u64 * unit_len;
+    let ulen = (start + len - ustart).min(unit_len);
+    (ustart, ulen)
+}
+
+impl LeasingFolder<'_, '_> {
+    /// Fold a range on the in-process pool — the same primitive
+    /// `select_seed_blocks_n` uses, so local shares are bit-identical.
+    fn local_fold(&mut self, start: u64, len: u64) -> SumMinArgmin {
+        let w = seed_workers(len, self.workers);
+        while self.pool.len() < w {
+            self.pool.push(SimScratch::new(self.n));
+        }
+        let eb = self.eval_block;
+        let eval = move |s: u64, c: &mut [f64], sc: &mut SimScratch| eb(s, c, sc);
+        fold_seed_range_in(&mut self.pool[..w], start, len, &eval)
+    }
+
+    /// Lease the fold out to the fleet; merge first-completions; expire,
+    /// orphan, and re-issue as needed; degrade to local evaluation when
+    /// the fleet is gone or the fold stalls.
+    fn remote_fold(&mut self, start: u64, len: u64, unit_len: u64) -> SumMinArgmin {
+        let cfg = &self.shared.cfg;
+        let nunits = len.div_ceil(unit_len);
+        let fold_id = self.st.next_fold;
+        self.st.next_fold += 1;
+        self.st.stats.remote_folds += 1;
+        let mut table = LeaseTable::new(nunits as u32);
+        let mut acc = SumMinArgmin::EMPTY;
+        let fold_start = self.shared.now_ms();
+
+        while !table.is_done() {
+            let now = self.shared.now_ms();
+            table.expire(now);
+
+            // Evict workers that have been silent past the heartbeat
+            // timeout; their leases go back to pending.
+            let mut dead: Vec<u64> = Vec::new();
+            {
+                let peers = self.shared.peers.lock().unwrap();
+                for (&id, p) in peers.iter() {
+                    if now.saturating_sub(p.last_seen) > cfg.heartbeat_timeout_ms {
+                        dead.push(id);
+                    }
+                }
+            }
+            for id in dead {
+                if self.shared.drop_peer(id) {
+                    self.st.stats.evictions += 1;
+                }
+                table.release_worker(id);
+            }
+
+            // Grant pending units to live workers, lowest worker id
+            // first, up to the pipelining depth.
+            let mut send_failed: Vec<u64> = Vec::new();
+            {
+                let mut peers = self.shared.peers.lock().unwrap();
+                let mut ids: Vec<u64> = peers.keys().copied().collect();
+                ids.sort_unstable();
+                'workers: for id in ids {
+                    while table.pending_len() > 0 && table.outstanding_of(id) < cfg.max_outstanding
+                    {
+                        let Some(lease) = table.grant(id, now, cfg.lease_timeout_ms) else {
+                            break 'workers;
+                        };
+                        let (ustart, ulen) = unit_range(start, len, unit_len, lease.unit);
+                        let wire = Msg::Grant {
+                            search_id: self.search_id,
+                            fold_id,
+                            lease_id: lease.lease_id,
+                            unit: lease.unit,
+                            start: ustart,
+                            len: ulen,
+                        }
+                        .encode();
+                        let peer = peers.get_mut(&id).expect("granted to a live peer");
+                        if write_frame(&mut peer.stream, &wire).is_err() {
+                            send_failed.push(id);
+                            break;
+                        }
+                    }
+                }
+            }
+            for id in send_failed {
+                if self.shared.drop_peer(id) {
+                    self.st.stats.disconnects += 1;
+                }
+                table.release_worker(id);
+            }
+
+            // Merge completions; first copy per unit wins.
+            for ev in self.shared.drain_events(cfg.poll_ms.max(1)) {
+                match ev {
+                    Event::Gone(id) => {
+                        if self.shared.drop_peer(id) {
+                            self.st.stats.disconnects += 1;
+                        }
+                        table.release_worker(id);
+                    }
+                    Event::Msg(
+                        _,
+                        Msg::Result {
+                            search_id,
+                            fold_id: result_fold,
+                            unit,
+                            sum,
+                            min,
+                            argmin,
+                            ..
+                        },
+                    ) => {
+                        if search_id != self.search_id || result_fold != fold_id {
+                            self.st.stats.stale_results += 1;
+                        } else if (unit as u64) < nunits && table.complete(unit) {
+                            acc = acc.merge(SumMinArgmin { sum, min, argmin });
+                            self.st.stats.remote_units += 1;
+                        }
+                    }
+                    Event::Msg(id, Msg::Bye) => {
+                        if self.shared.drop_peer(id) {
+                            self.st.stats.disconnects += 1;
+                        }
+                        table.release_worker(id);
+                    }
+                    Event::Msg(..) => {}
+                }
+            }
+
+            // Graceful degradation: with no fleet — or a fold stuck past
+            // the patience window despite live-looking workers — fold
+            // pending units locally, one per tick so fresh results can
+            // still interleave.  Dedup makes the overlap harmless.
+            let fleet_gone = self.shared.peers.lock().unwrap().is_empty();
+            let stalled =
+                now.saturating_sub(fold_start) > cfg.local_patience_ms && table.pending_len() > 0;
+            if !table.is_done() && (fleet_gone || stalled) {
+                if let Some(lease) = table.grant(LOCAL_WORKER, now, u64::MAX / 2) {
+                    let (ustart, ulen) = unit_range(start, len, unit_len, lease.unit);
+                    let part = self.local_fold(ustart, ulen);
+                    table.complete(lease.unit);
+                    acc = acc.merge(part);
+                    self.st.stats.local_units += 1;
+                }
+            }
+        }
+
+        let ls = table.stats();
+        self.st.stats.granted += ls.granted;
+        self.st.stats.reissued += ls.reissued;
+        self.st.stats.expired += ls.expired;
+        self.st.stats.orphaned += ls.orphaned;
+        self.st.stats.duplicates += ls.duplicates;
+        acc
+    }
+}
+
+impl RangeFolder for LeasingFolder<'_, '_> {
+    fn fold_range(&mut self, start: u64, len: u64) -> SumMinArgmin {
+        self.st.stats.folds += 1;
+        let cfg = &self.shared.cfg;
+        let unit_len = (cfg.blocks_per_lease.max(1)) * SEED_BLOCK as u64;
+        let no_fleet = self.shared.peers.lock().unwrap().is_empty();
+        if len < cfg.min_remote_len || no_fleet {
+            self.st.stats.local_units += len.div_ceil(unit_len);
+            return self.local_fold(start, len);
+        }
+        self.remote_fold(start, len, unit_len)
+    }
+
+    fn eval_seed(&mut self, seed: u64) -> f64 {
+        if self.pool.is_empty() {
+            self.pool.push(SimScratch::new(self.n));
+        }
+        let mut c = [0.0f64];
+        (self.eval_block)(seed, &mut c, &mut self.pool[0]);
+        c[0]
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                let h = std::thread::spawn(move || reader_loop(stream, shared));
+                handles.lock().unwrap().push(h);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Per-connection reader: handshake (`Hello` → `Welcome` + register),
+/// then pump frames into the event queue until death.  After
+/// registration this thread never writes — the solve thread owns the
+/// write half.
+fn reader_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::new(read_half);
+
+    // Handshake with a deadline.
+    let handshake_deadline = Instant::now() + Duration::from_secs(10);
+    let hello = loop {
+        if shared.shutdown.load(Ordering::SeqCst) || Instant::now() > handshake_deadline {
+            return;
+        }
+        match reader.poll_frame() {
+            Ok(Some(frame)) => break frame,
+            Ok(None) => continue,
+            Err(_) => return,
+        }
+    };
+    match Msg::decode(&hello) {
+        Ok(Msg::Hello { version }) if version == PROTO_VERSION => {}
+        _ => return, // wrong first message or version: refuse silently
+    }
+
+    let id = shared.next_worker.fetch_add(1, Ordering::SeqCst);
+    {
+        // Snapshot history and register atomically (history before
+        // peers — the same order the broadcast path locks), so no
+        // Chosen can fall between the snapshot and registration.
+        let history = shared.history.lock().unwrap();
+        let welcome = Msg::Welcome {
+            worker_id: id,
+            job: shared.job.clone(),
+            history: history.clone(),
+        }
+        .encode();
+        let mut write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        if write_frame(&mut write_half, &welcome).is_err() {
+            return;
+        }
+        shared.peers.lock().unwrap().insert(
+            id,
+            Peer {
+                stream,
+                last_seen: shared.now_ms(),
+            },
+        );
+    }
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.poll_frame() {
+            Ok(Some(frame)) => match Msg::decode(&frame) {
+                Ok(msg) => {
+                    if let Some(p) = shared.peers.lock().unwrap().get_mut(&id) {
+                        p.last_seen = shared.now_ms();
+                    }
+                    match msg {
+                        Msg::Ping => {} // liveness only, already recorded
+                        other => shared.push_event(Event::Msg(id, other)),
+                    }
+                }
+                Err(_) => {
+                    // Malformed frame: drop the connection; the lease
+                    // layer re-issues whatever it held.
+                    shared.push_event(Event::Gone(id));
+                    return;
+                }
+            },
+            Ok(None) => continue,
+            Err(_) => {
+                shared.push_event(Event::Gone(id));
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+#![warn(missing_docs)]
+//! Fault-tolerant distributed seed search.
+//!
+//! The seed search is the hot loop of the whole reproduction: every
+//! derandomized step folds a `(sum, min, argmin)` reduce over `2^d`
+//! seeds.  `parcolor-exec` already spreads that fold across one
+//! machine's cores; this crate spreads it across a fleet, over plain
+//! `std::net` TCP with a hand-rolled length-prefixed codec (no external
+//! dependencies), and keeps the answer **bit-identical** to the
+//! single-machine path under worker crashes, restarts, stragglers, and
+//! a lossy network.
+//!
+//! ## Why re-issue is exact
+//!
+//! Everything rests on one algebraic fact (see
+//! [`parcolor_exec::SumMinArgmin`]): the per-seed cost is a pure
+//! function of the seed, and the fold is a grouping-invariant reduce —
+//! associative, commutative, with an explicit lowest-seed argmin
+//! tie-break, and exact sums for the integer-valued cost functionals
+//! the framework produces.  A work unit (a [`SEED_BLOCK`]-aligned seed
+//! range) therefore has exactly one possible aggregate, no matter who
+//! computes it, how many times it is computed, or in what order units
+//! merge.  The coordinator may lease the same unit to three workers and
+//! its own fallback path simultaneously; the first completed copy is
+//! merged, the rest are **deduplicated by unit id**, and the final
+//! [`SeedSelection`] — seed, cost, mean, trace, everything — is
+//! field-for-field the one `select_seed_blocks_n` computes locally.
+//! The strategy logic itself is not reimplemented here: both paths run
+//! [`parcolor_prg::select_seed_folded`] and differ only in the
+//! [`parcolor_prg::RangeFolder`] plugged into it.
+//!
+//! ## Protocol
+//!
+//! One coordinator, any number of workers, one TCP connection each.
+//! Frames are `u32` little-endian length + payload ([`frame`]); the
+//! payload's first byte tags the message ([`proto::Msg`]):
+//!
+//! ```text
+//! worker                          coordinator
+//!   | -- Hello{version} ------------> |   handshake
+//!   | <-- Welcome{id, job, history} - |   job bytes + all past selections
+//!   |                                 |
+//!   | <-- Grant{search, fold, lease,  |   lease: fold seeds start..start+len
+//!   |          unit, start, len} ---- |
+//!   | -- Result{..., sum,min,argmin}> |   merged once per unit, dups dropped
+//!   | <-- Chosen{search, selection} - |   search concluded; replica advances
+//!   |                                 |
+//!   | -- Ping ----------------------> |   idle heartbeat (liveness only)
+//!   | -- Bye / <-- Bye -------------- |   orderly shutdown
+//! ```
+//!
+//! Workers are **replicated state machines**: each runs the full
+//! deterministic solve on the same job bytes, so graph state never
+//! crosses the wire — only leases, unit aggregates, and chosen
+//! selections do.  Searches are issued sequentially in a deterministic
+//! order (see [`parcolor_core::SeedSearcher`]), so a worker's replica
+//! stays lock-step with the coordinator's; a worker that joins or
+//! reconnects mid-solve fast-forwards through `Welcome.history` instead
+//! of replaying network traffic.
+//!
+//! ## Lease lifecycle
+//!
+//! Each fold slices its seed range into units of
+//! `blocks_per_lease × SEED_BLOCK` seeds and tracks them in a
+//! [`parcolor_exec::LeaseTable`]:
+//!
+//! 1. **Grant** — lowest pending unit first, to any live worker with
+//!    fewer than `max_outstanding` leases, deadline `now +
+//!    lease_timeout_ms`.
+//! 2. **Expire** — past-deadline leases return their unit to the front
+//!    of the pending queue (straggler insurance); the unit is re-issued
+//!    with a fresh lease id.  The straggler's late result is still
+//!    accepted if it arrives first — whichever copy completes the unit
+//!    wins, by the exactness argument above.
+//! 3. **Orphan** — a disconnect or heartbeat eviction returns all of
+//!    that worker's outstanding units to the pending queue.
+//! 4. **Complete** — the first `Result` per unit merges into the fold
+//!    accumulator; later copies (and results for stale folds) are
+//!    counted and dropped.
+//! 5. **Local fallback** — whenever no worker is connected, the
+//!    coordinator folds pending units itself on the in-process pool, so
+//!    the solve finishes even if the entire fleet dies (graceful
+//!    degradation to `select_seed_blocks_n`).
+//!
+//! Workers reconnect with exponential backoff plus deterministic
+//! jitter; after `max_reconnects` consecutive failures a worker flips
+//! to **standalone** mode and finishes its replica locally — still
+//! producing the bit-identical coloring, never a panic.
+//!
+//! [`chaos`] supplies the deterministic failure harness: a frame-aware
+//! TCP proxy that drops, delays, and severs whole frames under a seeded
+//! splitmix64 PRG, so the loopback e2e suite ([`cluster`]) can assert
+//! bit-identity under kill/restart/straggler schedules.
+//!
+//! [`SEED_BLOCK`]: parcolor_prg::SEED_BLOCK
+//! [`SeedSelection`]: parcolor_prg::SeedSelection
+
+pub mod chaos;
+pub mod cluster;
+pub mod coordinator;
+pub mod frame;
+pub mod proto;
+pub mod worker;
+
+pub use chaos::{ChaosConfig, ChaosProxy, SplitMix64};
+pub use cluster::{solve_on_cluster, ClusterOutcome};
+pub use coordinator::{DistCoordinator, DistStats};
+pub use worker::{run_worker, WorkerSearcher, WorkerStats};
+
+/// Tuning knobs shared by the coordinator and the workers.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Lease deadline: a unit unacked for this long goes back to the
+    /// pending queue and is re-issued.
+    pub lease_timeout_ms: u64,
+    /// Workers silent for this long are evicted and their leases
+    /// orphaned (any frame counts as liveness, including `Ping`).
+    pub heartbeat_timeout_ms: u64,
+    /// Seed blocks per lease; the unit is `blocks_per_lease ×
+    /// SEED_BLOCK` seeds.
+    pub blocks_per_lease: u64,
+    /// Coordinator event-loop tick and worker idle-poll granularity.
+    pub poll_ms: u64,
+    /// Maximum leases outstanding per worker (pipelining depth).
+    pub max_outstanding: usize,
+    /// Folds shorter than this many seeds are evaluated on the
+    /// coordinator without distribution (the deep bits of the bitwise
+    /// walk are single blocks — round-tripping them would be all
+    /// latency).  Purely a throughput knob: bit-identity holds at any
+    /// value.
+    pub min_remote_len: u64,
+    /// Patience before the coordinator starts folding a stuck fold's
+    /// pending units itself even though workers look alive (a worker
+    /// whose results are all being dropped still heartbeats — without
+    /// this, such a fold would re-issue forever).  Liveness backstop;
+    /// `0` folds locally whenever a tick grants nothing.
+    pub local_patience_ms: u64,
+    /// Workers to wait for (up to `min_worker_wait_ms`) before the
+    /// first fold starts granting, so tests and benches measure the
+    /// fleet rather than the coordinator racing it alone.
+    pub min_workers: usize,
+    /// How long to wait for `min_workers`.
+    pub min_worker_wait_ms: u64,
+    /// Worker: initial reconnect backoff (doubles per failure).
+    pub connect_backoff_ms: u64,
+    /// Worker: backoff ceiling.
+    pub max_backoff_ms: u64,
+    /// Worker: consecutive connection failures tolerated before
+    /// flipping to standalone (local) mode.
+    pub max_reconnects: u32,
+    /// Worker: reconnect if the coordinator has been silent this long
+    /// (covers a lost `Chosen` frame — the reconnect's `Welcome`
+    /// history resynchronizes the replica).
+    pub idle_reconnect_ms: u64,
+    /// Worker: seed for the backoff jitter PRG.
+    pub jitter_seed: u64,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            lease_timeout_ms: 2_000,
+            heartbeat_timeout_ms: 5_000,
+            blocks_per_lease: 4,
+            poll_ms: 5,
+            max_outstanding: 2,
+            min_remote_len: 64,
+            local_patience_ms: 4_000,
+            min_workers: 0,
+            min_worker_wait_ms: 5_000,
+            connect_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+            max_reconnects: 8,
+            idle_reconnect_ms: 10_000,
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The coordinator/worker message set and its wire encoding.
+//!
+//! See the crate docs for the protocol narrative.  Every message is one
+//! frame; the first payload byte is the message tag.  Unknown tags and
+//! malformed payloads decode to errors (never panics) — the receiving
+//! loop drops the connection, and the lease layer absorbs the loss.
+
+use crate::frame::{Dec, Enc};
+use parcolor_prg::SeedSelection;
+use std::io;
+
+/// Protocol version carried in `Hello`; mismatched peers are refused.
+pub const PROTO_VERSION: u32 = 1;
+
+const T_HELLO: u8 = 1;
+const T_WELCOME: u8 = 2;
+const T_GRANT: u8 = 3;
+const T_RESULT: u8 = 4;
+const T_CHOSEN: u8 = 5;
+const T_PING: u8 = 6;
+const T_BYE: u8 = 7;
+
+/// One protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Worker → coordinator: first frame on every connection.
+    Hello {
+        /// Must equal [`PROTO_VERSION`].
+        version: u32,
+    },
+    /// Coordinator → worker: handshake reply.  Carries everything a
+    /// fresh (or reconnecting) worker needs to join mid-solve: the
+    /// opaque job bytes and the full history of already-chosen
+    /// selections (`history[s]` is search `s`'s outcome), which the
+    /// worker's replicated solve fast-forwards through.
+    Welcome {
+        /// Coordinator-assigned worker identity (unique per connection).
+        worker_id: u64,
+        /// Opaque job payload (the CLI encodes graph + parameters here).
+        job: Vec<u8>,
+        /// Selections of all completed searches, in search order.
+        history: Vec<SeedSelection>,
+    },
+    /// Coordinator → worker: lease of one work unit — evaluate seeds
+    /// `start .. start + len` and fold them.
+    Grant {
+        /// Search this fold belongs to (workers serve only their
+        /// current search).
+        search_id: u64,
+        /// Globally monotonic fold counter (one search may run many
+        /// folds — the bitwise walk folds two half-spaces per bit).
+        fold_id: u64,
+        /// Lease identity, echoed in the result.
+        lease_id: u64,
+        /// Unit index within the fold (the dedup key).
+        unit: u32,
+        /// First seed of the unit.
+        start: u64,
+        /// Number of seeds in the unit.
+        len: u64,
+    },
+    /// Worker → coordinator: the grouping-invariant aggregate of one
+    /// unit.  Results for stale folds or already-done units are dropped
+    /// by the coordinator (idempotent re-issue).
+    Result {
+        /// Echo of the grant's search.
+        search_id: u64,
+        /// Echo of the grant's fold.
+        fold_id: u64,
+        /// Echo of the grant's lease.
+        lease_id: u64,
+        /// Echo of the grant's unit (the dedup key).
+        unit: u32,
+        /// Sum of the unit's costs.
+        sum: f64,
+        /// Minimum cost in the unit.
+        min: f64,
+        /// Lowest seed achieving the minimum.
+        argmin: u64,
+    },
+    /// Coordinator → all workers: a search concluded with this
+    /// selection; workers adopt it and advance their replica.
+    Chosen {
+        /// The search that concluded.
+        search_id: u64,
+        /// Its outcome (trace included, so replicas report identically).
+        selection: SeedSelection,
+    },
+    /// Worker → coordinator: liveness heartbeat (sent when idle).
+    Ping,
+    /// Either direction: orderly goodbye.
+    Bye,
+}
+
+fn put_selection(e: &mut Enc, s: &SeedSelection) {
+    e.u64(s.seed);
+    e.f64(s.cost);
+    e.f64(s.mean_cost);
+    e.f64(s.min_cost);
+    e.u64(s.evaluated);
+    e.u32(s.trace.len() as u32);
+    for &(bit, m0, m1) in &s.trace {
+        e.u32(bit);
+        e.f64(m0);
+        e.f64(m1);
+    }
+}
+
+fn get_selection(d: &mut Dec) -> io::Result<SeedSelection> {
+    let seed = d.u64()?;
+    let cost = d.f64()?;
+    let mean_cost = d.f64()?;
+    let min_cost = d.f64()?;
+    let evaluated = d.u64()?;
+    let ntrace = d.u32()? as usize;
+    if ntrace > 1 << 16 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "absurd trace length",
+        ));
+    }
+    let mut trace = Vec::with_capacity(ntrace);
+    for _ in 0..ntrace {
+        let bit = d.u32()?;
+        let m0 = d.f64()?;
+        let m1 = d.f64()?;
+        trace.push((bit, m0, m1));
+    }
+    Ok(SeedSelection {
+        seed,
+        cost,
+        mean_cost,
+        min_cost,
+        evaluated,
+        trace,
+    })
+}
+
+impl Msg {
+    /// Encode to one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        match self {
+            Msg::Hello { version } => {
+                e.u8(T_HELLO);
+                e.u32(*version);
+            }
+            Msg::Welcome {
+                worker_id,
+                job,
+                history,
+            } => {
+                e.u8(T_WELCOME);
+                e.u64(*worker_id);
+                e.bytes(job);
+                e.u32(history.len() as u32);
+                for s in history {
+                    put_selection(&mut e, s);
+                }
+            }
+            Msg::Grant {
+                search_id,
+                fold_id,
+                lease_id,
+                unit,
+                start,
+                len,
+            } => {
+                e.u8(T_GRANT);
+                e.u64(*search_id);
+                e.u64(*fold_id);
+                e.u64(*lease_id);
+                e.u32(*unit);
+                e.u64(*start);
+                e.u64(*len);
+            }
+            Msg::Result {
+                search_id,
+                fold_id,
+                lease_id,
+                unit,
+                sum,
+                min,
+                argmin,
+            } => {
+                e.u8(T_RESULT);
+                e.u64(*search_id);
+                e.u64(*fold_id);
+                e.u64(*lease_id);
+                e.u32(*unit);
+                e.f64(*sum);
+                e.f64(*min);
+                e.u64(*argmin);
+            }
+            Msg::Chosen {
+                search_id,
+                selection,
+            } => {
+                e.u8(T_CHOSEN);
+                e.u64(*search_id);
+                put_selection(&mut e, selection);
+            }
+            Msg::Ping => e.u8(T_PING),
+            Msg::Bye => e.u8(T_BYE),
+        }
+        e.0
+    }
+
+    /// Decode one frame payload.
+    pub fn decode(buf: &[u8]) -> io::Result<Msg> {
+        let mut d = Dec::new(buf);
+        let msg = match d.u8()? {
+            T_HELLO => Msg::Hello { version: d.u32()? },
+            T_WELCOME => {
+                let worker_id = d.u64()?;
+                let job = d.bytes()?;
+                let n = d.u32()? as usize;
+                if n > 1 << 24 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "absurd history length",
+                    ));
+                }
+                let mut history = Vec::with_capacity(n);
+                for _ in 0..n {
+                    history.push(get_selection(&mut d)?);
+                }
+                Msg::Welcome {
+                    worker_id,
+                    job,
+                    history,
+                }
+            }
+            T_GRANT => Msg::Grant {
+                search_id: d.u64()?,
+                fold_id: d.u64()?,
+                lease_id: d.u64()?,
+                unit: d.u32()?,
+                start: d.u64()?,
+                len: d.u64()?,
+            },
+            T_RESULT => Msg::Result {
+                search_id: d.u64()?,
+                fold_id: d.u64()?,
+                lease_id: d.u64()?,
+                unit: d.u32()?,
+                sum: d.f64()?,
+                min: d.f64()?,
+                argmin: d.u64()?,
+            },
+            T_CHOSEN => Msg::Chosen {
+                search_id: d.u64()?,
+                selection: get_selection(&mut d)?,
+            },
+            T_PING => Msg::Ping,
+            T_BYE => Msg::Bye,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unknown message tag",
+                ))
+            }
+        };
+        if !d.done() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes in message",
+            ));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(seed: u64) -> SeedSelection {
+        SeedSelection {
+            seed,
+            cost: 3.0,
+            mean_cost: 4.5,
+            min_cost: 3.0,
+            evaluated: 256,
+            trace: vec![(7, 4.25, 4.75), (6, 4.0, 4.5)],
+        }
+    }
+
+    fn roundtrip(m: Msg) {
+        let wire = m.encode();
+        let back = Msg::decode(&wire).unwrap();
+        assert_eq!(format!("{m:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(Msg::Hello {
+            version: PROTO_VERSION,
+        });
+        roundtrip(Msg::Welcome {
+            worker_id: 3,
+            job: b"p edge 5 4".to_vec(),
+            history: vec![sel(1), sel(200)],
+        });
+        roundtrip(Msg::Grant {
+            search_id: 9,
+            fold_id: 41,
+            lease_id: 7,
+            unit: 2,
+            start: 64,
+            len: 32,
+        });
+        roundtrip(Msg::Result {
+            search_id: 9,
+            fold_id: 41,
+            lease_id: 7,
+            unit: 2,
+            sum: 12.0,
+            min: 0.0,
+            argmin: 65,
+        });
+        roundtrip(Msg::Chosen {
+            search_id: 9,
+            selection: sel(65),
+        });
+        roundtrip(Msg::Ping);
+        roundtrip(Msg::Bye);
+    }
+
+    #[test]
+    fn malformed_payloads_error_not_panic() {
+        assert!(Msg::decode(&[]).is_err());
+        assert!(Msg::decode(&[99]).is_err(), "unknown tag");
+        let mut wire = Msg::Grant {
+            search_id: 1,
+            fold_id: 2,
+            lease_id: 3,
+            unit: 4,
+            start: 5,
+            len: 6,
+        }
+        .encode();
+        wire.truncate(wire.len() - 1);
+        assert!(Msg::decode(&wire).is_err(), "truncated");
+        let mut wire2 = Msg::Ping.encode();
+        wire2.push(0);
+        assert!(Msg::decode(&wire2).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn selection_roundtrip_is_bit_exact() {
+        // f64 fields travel as raw bits: NaN-free exactness matters for
+        // the bit-identity guarantee.
+        let s = SeedSelection {
+            seed: 5,
+            cost: 0.1 + 0.2, // deliberately non-representable sum
+            mean_cost: f64::MIN_POSITIVE,
+            min_cost: -0.0,
+            evaluated: 1,
+            trace: vec![(0, 1.0 / 3.0, 2.0 / 3.0)],
+        };
+        let m = Msg::Chosen {
+            search_id: 0,
+            selection: s.clone(),
+        };
+        if let Msg::Chosen { selection, .. } = Msg::decode(&m.encode()).unwrap() {
+            assert_eq!(selection.cost.to_bits(), s.cost.to_bits());
+            assert_eq!(selection.min_cost.to_bits(), s.min_cost.to_bits());
+            assert_eq!(selection.trace[0].1.to_bits(), s.trace[0].1.to_bits());
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

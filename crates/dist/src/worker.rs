@@ -1,0 +1,398 @@
+//! The worker: a replicated solve that serves leases.
+//!
+//! A worker runs the *same deterministic solve* as the coordinator
+//! (reconstructed from the `Welcome` job bytes) with a
+//! [`WorkerSearcher`] as its seed-search backend.  Each search, instead
+//! of folding locally, the backend sits in a serve loop: evaluate every
+//! `Grant` it is leased, return `Result`s, and conclude the search when
+//! the coordinator's `Chosen` arrives — which keeps the replica
+//! lock-step with the fleet.
+//!
+//! Failure handling: any connection loss triggers reconnection with
+//! exponential backoff plus deterministic jitter; the fresh `Welcome`
+//! carries the full selection history, so a worker that was dark
+//! through any number of searches fast-forwards instead of desyncing.
+//! When the reconnect budget is exhausted (coordinator gone for good)
+//! the worker flips to **standalone** mode and finishes its replica
+//! with the in-process search — same coloring, no panic.
+
+use crate::chaos::SplitMix64;
+use crate::frame::{write_frame, FrameReader};
+use crate::proto::{Msg, PROTO_VERSION};
+use crate::DistConfig;
+use parcolor_core::{BlockEval, SeedSearcher, SimScratch};
+use parcolor_prg::{
+    fold_seed_range_in, seed_workers, select_seed_blocks_n, SeedSelection, SeedStrategy,
+};
+use std::io;
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Socket read timeout — the worker's poll tick while idle.
+const READ_TICK_MS: u64 = 25;
+
+/// Worker-side counters (tests assert on these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Leases evaluated and answered.
+    pub served_units: u64,
+    /// Successful (re)connections after the first.
+    pub reconnects: u64,
+    /// Heartbeats sent.
+    pub pings: u64,
+    /// Searches concluded from broadcast/history (lock-step path).
+    pub adopted: u64,
+    /// Searches concluded by local evaluation (standalone path).
+    pub standalone_searches: u64,
+}
+
+struct Conn {
+    reader: FrameReader,
+    writer: TcpStream,
+    /// Milliseconds of consecutive silence from the coordinator.
+    idle_ms: u64,
+    /// Milliseconds since we last sent anything (heartbeat pacing).
+    since_send_ms: u64,
+}
+
+struct Inner {
+    addr: String,
+    cfg: DistConfig,
+    conn: Option<Conn>,
+    job: Vec<u8>,
+    history: Vec<SeedSelection>,
+    next_search: u64,
+    standalone: bool,
+    failed_attempts: u32,
+    jitter: SplitMix64,
+    stats: WorkerStats,
+}
+
+/// The lease-serving [`SeedSearcher`] backend.  Construct with
+/// [`WorkerSearcher::connect`] (or through [`run_worker`]) and hand to
+/// `Solver::with_seed_searcher`.
+pub struct WorkerSearcher {
+    inner: Mutex<Inner>,
+}
+
+fn connect_once(addr: &str, _cfg: &DistConfig) -> io::Result<(Conn, Vec<u8>, Vec<SeedSelection>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_millis(READ_TICK_MS)))?;
+    let mut writer = stream.try_clone()?;
+    write_frame(
+        &mut writer,
+        &Msg::Hello {
+            version: PROTO_VERSION,
+        }
+        .encode(),
+    )?;
+    let mut reader = FrameReader::new(stream);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let frame = loop {
+        if Instant::now() > deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "handshake timed out",
+            ));
+        }
+        match reader.poll_frame()? {
+            Some(f) => break f,
+            None => continue,
+        }
+    };
+    match Msg::decode(&frame)? {
+        Msg::Welcome { job, history, .. } => Ok((
+            Conn {
+                reader,
+                writer,
+                idle_ms: 0,
+                since_send_ms: 0,
+            },
+            job,
+            history,
+        )),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected Welcome",
+        )),
+    }
+}
+
+impl Inner {
+    fn drop_conn(&mut self) {
+        if let Some(c) = self.conn.take() {
+            let _ = c.writer.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Adopt a (re)connection's history: the coordinator's record is
+    /// always a superset of ours (it appends before broadcasting).
+    fn adopt_history(&mut self, history: Vec<SeedSelection>) {
+        if history.len() > self.history.len() {
+            self.history = history;
+        }
+    }
+
+    /// One backoff-then-connect attempt.  Flips to standalone when the
+    /// consecutive-failure budget runs out.
+    fn reconnect(&mut self) {
+        if self.failed_attempts >= self.cfg.max_reconnects {
+            self.standalone = true;
+            return;
+        }
+        let shift = self.failed_attempts.min(16);
+        let base = self
+            .cfg
+            .connect_backoff_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.cfg.max_backoff_ms);
+        let jitter = self.jitter.next_u64() % (base / 2 + 1);
+        std::thread::sleep(Duration::from_millis(base + jitter));
+        match connect_once(&self.addr, &self.cfg) {
+            Ok((conn, _job, history)) => {
+                self.adopt_history(history);
+                self.conn = Some(conn);
+                self.failed_attempts = 0;
+                self.stats.reconnects += 1;
+            }
+            Err(_) => {
+                self.failed_attempts += 1;
+                if self.failed_attempts >= self.cfg.max_reconnects {
+                    self.standalone = true;
+                }
+            }
+        }
+    }
+}
+
+impl WorkerSearcher {
+    /// Connect to a coordinator and complete the handshake, retrying
+    /// with backoff up to the configured budget.
+    pub fn connect(addr: &str, cfg: DistConfig) -> io::Result<WorkerSearcher> {
+        let mut jitter = SplitMix64::new(cfg.jitter_seed);
+        let mut last_err = None;
+        for attempt in 0..cfg.max_reconnects.max(1) {
+            match connect_once(addr, &cfg) {
+                Ok((conn, job, history)) => {
+                    return Ok(WorkerSearcher {
+                        inner: Mutex::new(Inner {
+                            addr: addr.to_string(),
+                            cfg,
+                            conn: Some(conn),
+                            job,
+                            history,
+                            next_search: 0,
+                            standalone: false,
+                            failed_attempts: 0,
+                            jitter,
+                            stats: WorkerStats::default(),
+                        }),
+                    })
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    let base = cfg
+                        .connect_backoff_ms
+                        .saturating_mul(1u64 << attempt.min(16))
+                        .min(cfg.max_backoff_ms);
+                    std::thread::sleep(Duration::from_millis(
+                        base + jitter.next_u64() % (base / 2 + 1),
+                    ));
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("no connection attempts")))
+    }
+
+    /// The job bytes from the handshake.
+    pub fn job(&self) -> Vec<u8> {
+        self.inner.lock().unwrap().job.clone()
+    }
+
+    /// Whether the worker has degraded to local-only operation.
+    pub fn is_standalone(&self) -> bool {
+        self.inner.lock().unwrap().standalone
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WorkerStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Send a best-effort `Bye` and close the connection.
+    pub fn finish(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(c) = inner.conn.as_mut() {
+            let _ = write_frame(&mut c.writer, &Msg::Bye.encode());
+        }
+        inner.drop_conn();
+    }
+}
+
+impl SeedSearcher for WorkerSearcher {
+    fn select(
+        &self,
+        seed_bits: u32,
+        strategy: SeedStrategy,
+        workers: usize,
+        n: usize,
+        eval_block: BlockEval,
+    ) -> SeedSelection {
+        let mut inner = self.inner.lock().unwrap();
+        let sid = inner.next_search;
+        let mut pool: Vec<SimScratch> = Vec::new();
+        loop {
+            // Lock-step fast path: the selection is already known
+            // (broadcast received earlier, or replayed via Welcome).
+            if let Some(sel) = inner.history.get(sid as usize) {
+                let sel = sel.clone();
+                inner.next_search += 1;
+                inner.stats.adopted += 1;
+                return sel;
+            }
+            if inner.standalone {
+                let sel = select_seed_blocks_n(
+                    seed_bits,
+                    strategy,
+                    workers,
+                    || SimScratch::new(n),
+                    |s, c, sc: &mut SimScratch| eval_block(s, c, sc),
+                );
+                debug_assert_eq!(inner.history.len() as u64, sid);
+                inner.history.push(sel.clone());
+                inner.next_search += 1;
+                inner.stats.standalone_searches += 1;
+                return sel;
+            }
+            if inner.conn.is_none() {
+                inner.reconnect();
+                continue;
+            }
+
+            // One poll tick of the serve loop.
+            let msg = {
+                let cfg_hb = inner.cfg.heartbeat_timeout_ms;
+                let cfg_idle = inner.cfg.idle_reconnect_ms;
+                let conn = inner.conn.as_mut().expect("checked above");
+                match conn.reader.poll_frame() {
+                    Ok(Some(frame)) => match Msg::decode(&frame) {
+                        Ok(m) => {
+                            conn.idle_ms = 0;
+                            Some(m)
+                        }
+                        Err(_) => {
+                            inner.drop_conn();
+                            continue;
+                        }
+                    },
+                    Ok(None) => {
+                        conn.idle_ms += READ_TICK_MS;
+                        conn.since_send_ms += READ_TICK_MS;
+                        // Heartbeat: one-way Ping whenever we've been
+                        // quiet for a third of the eviction window.
+                        if conn.since_send_ms >= cfg_hb / 3 {
+                            conn.since_send_ms = 0;
+                            if write_frame(&mut conn.writer, &Msg::Ping.encode()).is_err() {
+                                inner.drop_conn();
+                                continue;
+                            }
+                            inner.stats.pings += 1;
+                        } else if conn.idle_ms >= cfg_idle {
+                            // Dead air past the idle window: a Chosen
+                            // may have been lost — resync via Welcome.
+                            inner.drop_conn();
+                        }
+                        continue;
+                    }
+                    Err(_) => {
+                        inner.drop_conn();
+                        continue;
+                    }
+                }
+            };
+
+            match msg {
+                Some(Msg::Grant {
+                    search_id,
+                    fold_id,
+                    lease_id,
+                    unit,
+                    start,
+                    len,
+                }) => {
+                    if search_id > sid {
+                        // The coordinator is ahead of us: we missed a
+                        // Chosen.  Resync through a fresh Welcome.
+                        inner.drop_conn();
+                        continue;
+                    }
+                    if search_id < sid || len == 0 {
+                        continue; // stale lease from before a reconnect
+                    }
+                    let w = seed_workers(len, workers);
+                    while pool.len() < w {
+                        pool.push(SimScratch::new(n));
+                    }
+                    let eval = |s: u64, c: &mut [f64], sc: &mut SimScratch| eval_block(s, c, sc);
+                    let part = fold_seed_range_in(&mut pool[..w], start, len, &eval);
+                    let wire = Msg::Result {
+                        search_id,
+                        fold_id,
+                        lease_id,
+                        unit,
+                        sum: part.sum,
+                        min: part.min,
+                        argmin: part.argmin,
+                    }
+                    .encode();
+                    let conn = inner.conn.as_mut().expect("serving");
+                    conn.since_send_ms = 0;
+                    if write_frame(&mut conn.writer, &wire).is_err() {
+                        inner.drop_conn();
+                        continue;
+                    }
+                    inner.stats.served_units += 1;
+                }
+                Some(Msg::Chosen {
+                    search_id,
+                    selection,
+                }) => {
+                    let have = inner.history.len() as u64;
+                    if search_id == have {
+                        inner.history.push(selection);
+                    } else if search_id > have {
+                        // Gap: an earlier Chosen was lost in transit.
+                        inner.drop_conn();
+                    }
+                    // search_id < have: duplicate broadcast, ignore.
+                }
+                Some(Msg::Bye) => {
+                    // Coordinator is shutting down.  If we still needed
+                    // this search, finish the replica locally.
+                    inner.drop_conn();
+                    inner.standalone = true;
+                }
+                Some(_) | None => {}
+            }
+        }
+    }
+}
+
+/// Connect to `addr`, fetch the job, and run `run(job, searcher)` —
+/// typically: decode the job, build the replica solver, and call
+/// `Solver::with_seed_searcher(searcher).solve(..)`.  Sends `Bye` when
+/// `run` returns.  Errors only if the initial connection never
+/// succeeds.
+pub fn run_worker<R>(
+    addr: &str,
+    cfg: DistConfig,
+    run: impl FnOnce(&[u8], Arc<WorkerSearcher>) -> R,
+) -> io::Result<R> {
+    let searcher = Arc::new(WorkerSearcher::connect(addr, cfg)?);
+    let job = searcher.job();
+    let out = run(&job, Arc::clone(&searcher));
+    searcher.finish();
+    Ok(out)
+}

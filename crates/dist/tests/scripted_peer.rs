@@ -1,0 +1,139 @@
+//! Scripted-peer protocol test: a hand-driven TCP client speaks the wire
+//! protocol directly and **double-sends every Result**.  The coordinator
+//! must merge each unit exactly once (`stats.duplicates` counts the
+//! rejected copies) and still select the bit-identical seed of the local
+//! path — the deterministic proof behind the re-issue safety argument.
+
+use parcolor_core::framework::{SeedSearcher, SimScratch};
+use parcolor_core::SeedStrategy;
+use parcolor_dist::frame::{write_frame, FrameReader};
+use parcolor_dist::proto::{Msg, PROTO_VERSION};
+use parcolor_dist::{DistConfig, DistCoordinator};
+use parcolor_prg::{fold_seed_range_in, select_seed_blocks_n};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Pure integer-valued cost: exact sums, so any double-merge would shift
+/// `mean_cost` and fail the selection-equality assert below.
+fn eval(seed: u64, out: &mut [f64], _scratch: &mut SimScratch) {
+    for (i, c) in out.iter_mut().enumerate() {
+        *c = (((seed + i as u64) * 37 + 11) % 19) as f64;
+    }
+}
+
+#[test]
+fn duplicated_results_are_merged_exactly_once() {
+    let cfg = DistConfig {
+        // Generous deadlines: nothing may expire or fall back locally —
+        // every unit must be served (and duplicated) by the script.
+        lease_timeout_ms: 10_000,
+        heartbeat_timeout_ms: 10_000,
+        local_patience_ms: 10_000,
+        min_remote_len: 64,
+        blocks_per_lease: 4,
+        poll_ms: 2,
+        max_outstanding: 2,
+        min_workers: 1,
+        min_worker_wait_ms: 10_000,
+        ..DistConfig::default()
+    };
+    let coordinator = Arc::new(
+        DistCoordinator::bind("127.0.0.1:0", b"duplicate-test".to_vec(), cfg).expect("bind"),
+    );
+    let addr = coordinator.local_addr();
+
+    // Handshake by hand.
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(25)))
+        .unwrap();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = FrameReader::new(stream);
+    write_frame(
+        &mut writer,
+        &Msg::Hello {
+            version: PROTO_VERSION,
+        }
+        .encode(),
+    )
+    .unwrap();
+    let welcome = loop {
+        if let Some(f) = reader.poll_frame().expect("welcome") {
+            break Msg::decode(&f).expect("decode welcome");
+        }
+    };
+    match welcome {
+        Msg::Welcome { job, history, .. } => {
+            assert_eq!(job, b"duplicate-test");
+            assert!(history.is_empty());
+        }
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+    while coordinator.connected_workers() < 1 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Exhaustive over 2^8 seeds: one fold, 8 units of 32 — all leased to
+    // the script because min_remote_len (64) < 256 and deadlines never
+    // fire.
+    let solve = {
+        let coordinator = Arc::clone(&coordinator);
+        std::thread::spawn(move || {
+            SeedSearcher::select(&*coordinator, 8, SeedStrategy::Exhaustive, 2, 16, &eval)
+        })
+    };
+
+    // Serve every grant — twice.
+    let mut pool = vec![SimScratch::new(16)];
+    let chosen = loop {
+        let Some(f) = reader.poll_frame().expect("peer read") else {
+            continue;
+        };
+        match Msg::decode(&f).expect("peer decode") {
+            Msg::Grant {
+                search_id,
+                fold_id,
+                lease_id,
+                unit,
+                start,
+                len,
+            } => {
+                let agg = fold_seed_range_in(&mut pool, start, len, &eval);
+                let result = Msg::Result {
+                    search_id,
+                    fold_id,
+                    lease_id,
+                    unit,
+                    sum: agg.sum,
+                    min: agg.min,
+                    argmin: agg.argmin,
+                };
+                write_frame(&mut writer, &result.encode()).unwrap();
+                write_frame(&mut writer, &result.encode()).unwrap();
+            }
+            Msg::Chosen { selection, .. } => break selection,
+            Msg::Ping | Msg::Bye => {}
+            other => panic!("unexpected frame for scripted peer: {other:?}"),
+        }
+    };
+
+    let distributed = solve.join().expect("select must finish");
+    let expected =
+        select_seed_blocks_n(8, SeedStrategy::Exhaustive, 2, || SimScratch::new(16), eval);
+    assert_eq!(distributed, expected, "dedup failed: selection diverged");
+    assert_eq!(chosen, expected, "broadcast selection diverged");
+
+    let stats = coordinator.stats();
+    assert_eq!(
+        stats.remote_units, 8,
+        "all 8 units served remotely: {stats:?}"
+    );
+    assert_eq!(stats.local_units, 0, "{stats:?}");
+    assert!(
+        stats.duplicates >= 8,
+        "every double-send must be rejected: {stats:?}"
+    );
+    assert_eq!(stats.reissued, 0, "{stats:?}");
+    coordinator.shutdown();
+}

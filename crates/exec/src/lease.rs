@@ -1,0 +1,308 @@
+//! Lease-shaped work accounting.
+//!
+//! The distributed seed search (crate `parcolor-dist`) deals fixed work
+//! *units* (block-aligned seed ranges) to remote workers the same way the
+//! in-process executor deals index blocks to threads — except that remote
+//! workers fail: they crash mid-unit, straggle past any deadline, and
+//! reconnect under new identities.  [`LeaseTable`] is the bookkeeping that
+//! makes that safe:
+//!
+//! * every unit is **granted** as a lease with a deadline; expired or
+//!   orphaned leases return the unit to the pending queue so it can be
+//!   **re-issued** to a live worker;
+//! * completions are **deduplicated by unit id** — a late result from a
+//!   re-issued unit's first assignee is dropped, so each unit enters the
+//!   reduce exactly once.  Because every unit's result is a pure function
+//!   of its index range, and the enclosing reduce is grouping-invariant
+//!   (see the crate docs), re-issue and dedup can never change the merged
+//!   outcome — only who computed it.
+//!
+//! Time is a caller-supplied logical clock (`now` in milliseconds or any
+//! monotone unit), so tests can drive expiry deterministically.  The table
+//! is single-threaded by design; callers serialize access (the dist
+//! coordinator owns one table per fold).
+
+use std::collections::VecDeque;
+
+/// State of one work unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum UnitState {
+    /// Waiting in the pending queue.
+    Pending,
+    /// Leased out; index into the outstanding list is found by scan.
+    Outstanding,
+    /// Completed; duplicates are dropped.
+    Done,
+}
+
+/// An issued lease: one unit granted to one worker with a deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lease {
+    /// Monotonically increasing lease id (unique per table).
+    pub lease_id: u64,
+    /// The work unit covered.
+    pub unit: u32,
+    /// The assignee (an opaque worker key).
+    pub worker: u64,
+    /// Logical instant after which the lease counts as expired.
+    pub deadline: u64,
+}
+
+/// Counters the coordinator reports (and tests assert on).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// Leases granted (first issues + re-issues).
+    pub granted: u64,
+    /// Units that went back to pending after a deadline expiry.
+    pub expired: u64,
+    /// Units that went back to pending because their worker died.
+    pub orphaned: u64,
+    /// Units granted more than once (any cause).
+    pub reissued: u64,
+    /// Completions dropped because the unit was already done.
+    pub duplicates: u64,
+}
+
+/// Deadline-tracked work-unit ledger with re-issue and exactly-once
+/// completion accounting.  See the module docs for the contract.
+#[derive(Debug)]
+pub struct LeaseTable {
+    state: Vec<UnitState>,
+    /// Times each unit has been granted (re-issue accounting).
+    grants: Vec<u32>,
+    pending: VecDeque<u32>,
+    outstanding: Vec<Lease>,
+    next_lease: u64,
+    done: u32,
+    stats: LeaseStats,
+}
+
+impl LeaseTable {
+    /// A table over units `0..nunits`, all pending.
+    pub fn new(nunits: u32) -> Self {
+        LeaseTable {
+            state: vec![UnitState::Pending; nunits as usize],
+            grants: vec![0; nunits as usize],
+            pending: (0..nunits).collect(),
+            outstanding: Vec::new(),
+            next_lease: 0,
+            done: 0,
+            stats: LeaseStats::default(),
+        }
+    }
+
+    /// Units in the table.
+    pub fn nunits(&self) -> u32 {
+        self.state.len() as u32
+    }
+
+    /// Whether every unit has completed.
+    pub fn is_done(&self) -> bool {
+        self.done as usize == self.state.len()
+    }
+
+    /// Units not yet completed (pending + outstanding).
+    pub fn remaining(&self) -> u32 {
+        self.nunits() - self.done
+    }
+
+    /// Units currently waiting for a grant.
+    pub fn pending_len(&self) -> u32 {
+        self.pending.len() as u32
+    }
+
+    /// Leases currently outstanding for `worker`.
+    pub fn outstanding_of(&self, worker: u64) -> usize {
+        self.outstanding
+            .iter()
+            .filter(|l| l.worker == worker)
+            .count()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LeaseStats {
+        self.stats
+    }
+
+    /// Grant the next pending unit to `worker` with deadline
+    /// `now + timeout`.  Returns `None` when nothing is pending (the
+    /// remaining units are outstanding or done).
+    pub fn grant(&mut self, worker: u64, now: u64, timeout: u64) -> Option<Lease> {
+        let unit = self.pending.pop_front()?;
+        debug_assert_eq!(self.state[unit as usize], UnitState::Pending);
+        self.state[unit as usize] = UnitState::Outstanding;
+        self.grants[unit as usize] += 1;
+        if self.grants[unit as usize] > 1 {
+            self.stats.reissued += 1;
+        }
+        self.stats.granted += 1;
+        let lease = Lease {
+            lease_id: self.next_lease,
+            unit,
+            worker,
+            deadline: now.saturating_add(timeout),
+        };
+        self.next_lease += 1;
+        self.outstanding.push(lease);
+        Some(lease)
+    }
+
+    /// Return every lease whose deadline is `< now` to the **front** of
+    /// the pending queue (expired units are re-issued before untouched
+    /// ones) and report them.
+    pub fn expire(&mut self, now: u64) -> Vec<Lease> {
+        let mut expired = Vec::new();
+        self.outstanding.retain(|l| {
+            if l.deadline < now {
+                expired.push(*l);
+                false
+            } else {
+                true
+            }
+        });
+        for l in expired.iter().rev() {
+            debug_assert_eq!(self.state[l.unit as usize], UnitState::Outstanding);
+            self.state[l.unit as usize] = UnitState::Pending;
+            self.pending.push_front(l.unit);
+            self.stats.expired += 1;
+        }
+        expired
+    }
+
+    /// Return every lease held by `worker` (which died or was evicted) to
+    /// the front of the pending queue; reports how many units came back.
+    pub fn release_worker(&mut self, worker: u64) -> usize {
+        let mut released = Vec::new();
+        self.outstanding.retain(|l| {
+            if l.worker == worker {
+                released.push(l.unit);
+                false
+            } else {
+                true
+            }
+        });
+        for &unit in released.iter().rev() {
+            self.state[unit as usize] = UnitState::Pending;
+            self.pending.push_front(unit);
+            self.stats.orphaned += 1;
+        }
+        released.len()
+    }
+
+    /// Record a completion for `unit`.  Returns `true` exactly once per
+    /// unit — the first completion, whatever its provenance (original
+    /// assignee, re-issued assignee, or local fallback).  Later
+    /// completions return `false` and are counted as duplicates; the
+    /// caller must drop their payloads.
+    pub fn complete(&mut self, unit: u32) -> bool {
+        let s = &mut self.state[unit as usize];
+        if *s == UnitState::Done {
+            self.stats.duplicates += 1;
+            return false;
+        }
+        if *s == UnitState::Pending {
+            // A late result for a unit that was returned to pending (its
+            // lease expired but the original worker finished anyway):
+            // still a first completion — remove it from the queue.
+            self.pending.retain(|&u| u != unit);
+        } else {
+            self.outstanding.retain(|l| l.unit != unit);
+        }
+        *s = UnitState::Done;
+        self.done += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_lowest_pending_first() {
+        let mut t = LeaseTable::new(3);
+        assert_eq!(t.grant(1, 0, 10).unwrap().unit, 0);
+        assert_eq!(t.grant(1, 0, 10).unwrap().unit, 1);
+        assert_eq!(t.grant(2, 0, 10).unwrap().unit, 2);
+        assert!(t.grant(2, 0, 10).is_none());
+        assert_eq!(t.outstanding_of(1), 2);
+    }
+
+    #[test]
+    fn expiry_reissues_and_counts() {
+        let mut t = LeaseTable::new(2);
+        let a = t.grant(1, 0, 10).unwrap();
+        let _b = t.grant(2, 0, 100).unwrap();
+        assert!(t.expire(5).is_empty());
+        let exp = t.expire(11);
+        assert_eq!(exp, vec![a]);
+        // Expired unit re-issues ahead of nothing else pending; grants
+        // count the re-issue.
+        let re = t.grant(3, 11, 10).unwrap();
+        assert_eq!(re.unit, 0);
+        assert!(re.lease_id != a.lease_id);
+        assert_eq!(t.stats().reissued, 1);
+        assert_eq!(t.stats().expired, 1);
+    }
+
+    #[test]
+    fn completion_is_exactly_once() {
+        let mut t = LeaseTable::new(1);
+        let l = t.grant(1, 0, 10).unwrap();
+        assert!(t.complete(l.unit));
+        assert!(!t.complete(l.unit), "duplicate must be dropped");
+        assert_eq!(t.stats().duplicates, 1);
+        assert!(t.is_done());
+    }
+
+    #[test]
+    fn late_result_after_reissue_is_deduped() {
+        let mut t = LeaseTable::new(1);
+        let _first = t.grant(1, 0, 10).unwrap();
+        t.expire(20);
+        let _second = t.grant(2, 20, 10).unwrap();
+        // Second assignee completes first; the original's late result is
+        // a duplicate.
+        assert!(t.complete(0));
+        assert!(!t.complete(0));
+        assert_eq!(t.stats().reissued, 1);
+        assert_eq!(t.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn late_result_while_pending_still_counts_once() {
+        let mut t = LeaseTable::new(2);
+        let l = t.grant(1, 0, 10).unwrap();
+        t.expire(20); // unit 0 back to pending, not yet re-granted
+        assert!(t.complete(l.unit), "late result adopts the pending unit");
+        // The pending queue no longer offers unit 0.
+        assert_eq!(t.grant(2, 20, 10).unwrap().unit, 1);
+        assert!(t.grant(2, 20, 10).is_none());
+    }
+
+    #[test]
+    fn dead_worker_orphans_return_to_front() {
+        let mut t = LeaseTable::new(3);
+        let _u0 = t.grant(7, 0, 100).unwrap();
+        let _u1 = t.grant(7, 0, 100).unwrap();
+        let _u2 = t.grant(8, 0, 100).unwrap();
+        assert_eq!(t.release_worker(7), 2);
+        assert_eq!(t.outstanding_of(7), 0);
+        // Orphans re-issue in unit order, ahead of nothing else pending.
+        assert_eq!(t.grant(9, 0, 100).unwrap().unit, 0);
+        assert_eq!(t.grant(9, 0, 100).unwrap().unit, 1);
+        assert_eq!(t.stats().orphaned, 2);
+        assert_eq!(t.stats().reissued, 2);
+    }
+
+    #[test]
+    fn remaining_tracks_completion() {
+        let mut t = LeaseTable::new(4);
+        assert_eq!(t.remaining(), 4);
+        let l = t.grant(1, 0, 10).unwrap();
+        t.complete(l.unit);
+        assert_eq!(t.remaining(), 3);
+        assert_eq!(t.pending_len(), 3);
+        assert!(!t.is_done());
+    }
+}

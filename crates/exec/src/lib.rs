@@ -61,7 +61,10 @@ use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, Once, OnceLock};
+
+pub mod lease;
+pub use lease::{Lease, LeaseStats, LeaseTable};
 
 /// Upper bound on pool helpers — a sanity cap far above any real host.
 const MAX_WORKERS: usize = 256;
@@ -76,22 +79,65 @@ pub fn in_pool_worker() -> bool {
     IN_POOL.with(|f| f.get())
 }
 
+/// Outcome of parsing a thread-count environment variable.  Pure —
+/// exposed so the malformed-input handling is unit-testable without
+/// mutating the process environment (tests run multi-threaded).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ThreadVar {
+    /// Variable not set.
+    Unset,
+    /// A usable positive thread count.
+    Valid(usize),
+    /// Set but unusable (non-numeric, zero, negative, empty…); the raw
+    /// value is carried for the warning message.
+    Invalid(String),
+}
+
+/// Parse the value of a thread-count variable.  Accepts surrounding
+/// whitespace; anything that is not a positive integer is [`ThreadVar::Invalid`].
+pub fn parse_thread_var(value: Option<&str>) -> ThreadVar {
+    match value {
+        None => ThreadVar::Unset,
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(t) if t > 0 => ThreadVar::Valid(t),
+            _ => ThreadVar::Invalid(raw.to_string()),
+        },
+    }
+}
+
+/// Read one thread-count env var, warning (once per process) and falling
+/// back to `None` when it is set but malformed — a typo'd
+/// `PARCOLOR_THREADS=abc` or `=0` must degrade to the hardware-thread
+/// default loudly, not silently misconfigure the pool.
+fn env_threads(key: &str) -> Option<usize> {
+    let raw = std::env::var(key).ok();
+    match parse_thread_var(raw.as_deref()) {
+        ThreadVar::Unset => None,
+        ThreadVar::Valid(t) => Some(t),
+        ThreadVar::Invalid(raw) => {
+            static WARNED: Once = Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "parcolor: ignoring {key}={raw:?}: expected a positive integer \
+                     thread count; falling back to hardware threads"
+                );
+            });
+            None
+        }
+    }
+}
+
 /// Worker-thread count configured for this process: the
 /// `PARCOLOR_THREADS` env var if set, else the deprecated
 /// `PARCOLOR_SEED_THREADS` alias (the seed-search-only knob this crate's
-/// knob supersedes), else all hardware threads.
+/// knob supersedes), else all hardware threads.  A malformed value
+/// (`"abc"`, `"0"`, `"-3"`…) warns once and falls through as if unset.
 ///
 /// Read per call (not cached) so benches can pin a section by setting
 /// the variable at runtime.
 pub fn configured_threads() -> usize {
-    let parse = |k: &str| {
-        std::env::var(k)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&t| t > 0)
-    };
-    parse("PARCOLOR_THREADS")
-        .or_else(|| parse("PARCOLOR_SEED_THREADS"))
+    env_threads("PARCOLOR_THREADS")
+        .or_else(|| env_threads("PARCOLOR_SEED_THREADS"))
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
 }
 
@@ -699,5 +745,54 @@ mod tests {
         assert_eq!(resolve_workers(3), 3);
         assert!(resolve_workers(0) >= 1);
         assert_eq!(resolve_workers(100_000), MAX_WORKERS);
+    }
+
+    // Malformed thread-var handling: each bad shape must be classified
+    // Invalid (and so fall back to hardware threads) rather than being
+    // silently swallowed or, worse, parsed as something surprising.
+    #[test]
+    fn thread_var_unset() {
+        assert_eq!(parse_thread_var(None), ThreadVar::Unset);
+    }
+
+    #[test]
+    fn thread_var_valid_counts() {
+        assert_eq!(parse_thread_var(Some("4")), ThreadVar::Valid(4));
+        assert_eq!(parse_thread_var(Some(" 8 ")), ThreadVar::Valid(8));
+        assert_eq!(parse_thread_var(Some("1")), ThreadVar::Valid(1));
+    }
+
+    #[test]
+    fn thread_var_non_numeric_is_invalid() {
+        assert_eq!(
+            parse_thread_var(Some("abc")),
+            ThreadVar::Invalid("abc".into())
+        );
+    }
+
+    #[test]
+    fn thread_var_zero_is_invalid() {
+        assert_eq!(parse_thread_var(Some("0")), ThreadVar::Invalid("0".into()));
+    }
+
+    #[test]
+    fn thread_var_negative_is_invalid() {
+        assert_eq!(
+            parse_thread_var(Some("-3")),
+            ThreadVar::Invalid("-3".into())
+        );
+    }
+
+    #[test]
+    fn thread_var_empty_is_invalid() {
+        assert_eq!(parse_thread_var(Some("")), ThreadVar::Invalid("".into()));
+    }
+
+    #[test]
+    fn thread_var_fractional_is_invalid() {
+        assert_eq!(
+            parse_thread_var(Some("1.5")),
+            ThreadVar::Invalid("1.5".into())
+        );
     }
 }

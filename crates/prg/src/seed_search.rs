@@ -75,7 +75,7 @@ pub enum SeedStrategy {
 }
 
 /// Result of a seed search.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct SeedSelection {
     /// The chosen seed.
     pub seed: u64,
@@ -253,26 +253,63 @@ where
     M: Fn() -> S + Sync,
     F: Fn(u64, &mut [f64], &mut S) + Sync,
 {
+    let mut folder = LocalFolder {
+        pool: Vec::new(),
+        requested: workers,
+        make_scratch: &make_scratch,
+        eval_block: &eval_block,
+    };
+    select_seed_folded(seed_bits, strategy, &mut folder)
+}
+
+/// The range-fold surface a seed-selection **strategy** runs against —
+/// the hook that lets the same strategy logic (exhaustive argmin,
+/// fixed-subset, the bitwise conditional-expectation walk) drive either
+/// the in-process work-stealing fold *or* a remote fleet.
+///
+/// The contract is the executor crate's: every cost must be a pure
+/// function of its seed, and [`fold_range`](RangeFolder::fold_range)
+/// must return the grouping-invariant `(sum, min, argmin)` of the range
+/// with the lowest-seed argmin tie-break.  Any implementation honoring
+/// that — however it shards, schedules, retries, or re-issues the range —
+/// yields a [`SeedSelection`] bit-identical to the local path for
+/// integer-valued costs, which is exactly why the distributed layer
+/// (`parcolor-dist`) can re-issue orphaned blocks at will.
+pub trait RangeFolder {
+    /// Fold costs over seeds `start..start + len` (`len >= 1`).
+    fn fold_range(&mut self, start: u64, len: u64) -> SumMinArgmin;
+    /// Evaluate a single seed's cost (the chosen-seed re-evaluation of
+    /// the bitwise walk and the `SingleSeed` pin).
+    fn eval_seed(&mut self, seed: u64) -> f64;
+}
+
+/// Run a seed-selection strategy against an arbitrary [`RangeFolder`].
+/// This is [`select_seed_blocks_n`] with the fold backend abstracted
+/// out; the local path delegates here, so any conforming folder is
+/// field-for-field identical to it by construction.
+pub fn select_seed_folded(
+    seed_bits: u32,
+    strategy: SeedStrategy,
+    folder: &mut dyn RangeFolder,
+) -> SeedSelection {
     assert!((1..=24).contains(&seed_bits));
     let space = 1u64 << seed_bits;
     match strategy {
         SeedStrategy::SingleSeed(seed) => {
             assert!(seed < space, "seed {seed} outside 2^{seed_bits} space");
-            let mut scratch = make_scratch();
-            let mut c = [0.0f64];
-            eval_block(seed, &mut c, &mut scratch);
+            let c = folder.eval_seed(seed);
             SeedSelection {
                 seed,
-                cost: c[0],
-                mean_cost: c[0],
-                min_cost: c[0],
+                cost: c,
+                mean_cost: c,
+                min_cost: c,
                 evaluated: 1,
                 trace: Vec::new(),
             }
         }
         SeedStrategy::FixedSubset(k) => {
             let k = k.clamp(1, space);
-            let fold = fold_seed_range(0, k, workers, &make_scratch, &eval_block);
+            let fold = folder.fold_range(0, k);
             SeedSelection {
                 seed: fold.argmin,
                 cost: fold.min,
@@ -283,7 +320,7 @@ where
             }
         }
         SeedStrategy::Exhaustive => {
-            let fold = fold_seed_range(0, space, workers, &make_scratch, &eval_block);
+            let fold = folder.fold_range(0, space);
             SeedSelection {
                 seed: fold.argmin,
                 cost: fold.min,
@@ -294,8 +331,75 @@ where
             }
         }
         SeedStrategy::BitwiseCondExp => {
-            streaming_bitwise_walk(seed_bits, workers, &make_scratch, &eval_block)
+            // Streaming method of conditional expectations: fix bits
+            // MSB-first, each step folding both half-spaces.  Total
+            // evaluations are `2^{d+1} - 2` plus a final re-evaluation of
+            // the chosen seed; `mean_cost`/`min_cost` come from the first
+            // level, whose two folds jointly cover the entire space.
+            let mut prefix: u64 = 0;
+            let mut trace = Vec::with_capacity(seed_bits as usize);
+            let mut mean = 0.0;
+            let mut min = f64::INFINITY;
+            for fixed in 0..seed_bits {
+                let bit = seed_bits - 1 - fixed; // position being fixed
+                let block = 1u64 << bit; // size of each half
+                let f0 = folder.fold_range(prefix, block);
+                let f1 = folder.fold_range(prefix | block, block);
+                if fixed == 0 {
+                    mean = (f0.sum + f1.sum) / space as f64;
+                    min = f0.min.min(f1.min);
+                }
+                let mean0 = f0.sum / block as f64;
+                let mean1 = f1.sum / block as f64;
+                trace.push((bit, mean0, mean1));
+                if mean1 < mean0 {
+                    prefix |= block;
+                }
+            }
+            let cost = folder.eval_seed(prefix);
+            SeedSelection {
+                seed: prefix,
+                cost,
+                mean_cost: mean,
+                min_cost: min,
+                evaluated: space,
+                trace,
+            }
         }
+    }
+}
+
+/// The in-process [`RangeFolder`]: block-stealing folds on the
+/// persistent executor pool, with per-worker scratch arenas grown
+/// lazily to the widest fold and reused across every fold of the walk.
+struct LocalFolder<'a, S, M, F> {
+    pool: Vec<S>,
+    requested: usize,
+    make_scratch: &'a M,
+    eval_block: &'a F,
+}
+
+impl<S, M, F> RangeFolder for LocalFolder<'_, S, M, F>
+where
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(u64, &mut [f64], &mut S) + Sync,
+{
+    fn fold_range(&mut self, start: u64, len: u64) -> SumMinArgmin {
+        let w = seed_workers(len, self.requested);
+        while self.pool.len() < w {
+            self.pool.push((self.make_scratch)());
+        }
+        fold_seed_range_in(&mut self.pool[..w], start, len, self.eval_block)
+    }
+
+    fn eval_seed(&mut self, seed: u64) -> f64 {
+        if self.pool.is_empty() {
+            self.pool.push((self.make_scratch)());
+        }
+        let mut c = [0.0f64];
+        (self.eval_block)(seed, &mut c, &mut self.pool[0]);
+        c[0]
     }
 }
 
@@ -304,28 +408,6 @@ where
 /// scheduler was extracted from this module — `parcolor_exec` keeps the
 /// lowest-index tie-break semantics the seed search pioneered).
 type RangeFold = SumMinArgmin;
-
-/// Fold a block evaluator over seeds `start..start + len`, parallel over
-/// [`SEED_BLOCK`]-sized blocks with work stealing.  The merged result
-/// (including tie-breaks toward the lowest seed) is identical for any
-/// worker count; sums are exact whenever costs are integer-valued.
-fn fold_seed_range<S, M, F>(
-    start: u64,
-    len: u64,
-    workers: usize,
-    make_scratch: &M,
-    eval_block: &F,
-) -> RangeFold
-where
-    S: Send,
-    M: Fn() -> S + Sync,
-    F: Fn(u64, &mut [f64], &mut S) + Sync,
-{
-    let mut pool: Vec<S> = (0..seed_workers(len, workers))
-        .map(|_| make_scratch())
-        .collect();
-    fold_seed_range_in(&mut pool, start, len, eval_block)
-}
 
 /// Fold a block evaluator over seeds `start..start + len` with one
 /// scratch per worker taken from `pool` (worker count = `pool.len()`), so
@@ -343,7 +425,7 @@ where
 /// grouping-invariant (see [`SumMinArgmin`]), so the merged
 /// `(sum, min, argmin)` is bit-identical to the serial walk for
 /// integer-valued costs.
-fn fold_seed_range_in<S, F>(pool: &mut [S], start: u64, len: u64, eval_block: &F) -> RangeFold
+pub fn fold_seed_range_in<S, F>(pool: &mut [S], start: u64, len: u64, eval_block: &F) -> RangeFold
 where
     S: Send,
     F: Fn(u64, &mut [f64], &mut S) + Sync,
@@ -376,71 +458,12 @@ where
 /// hardware threads — see [`parcolor_exec::resolve_workers`].  Tiny
 /// ranges stay serial — scheduling overhead would dominate — and the
 /// count is capped so every worker has ≥ 32 seeds.
-fn seed_workers(len: u64, requested: usize) -> usize {
+pub fn seed_workers(len: u64, requested: usize) -> usize {
     let hw = parcolor_exec::resolve_workers(requested);
     if len < 64 {
         1
     } else {
         hw.min((len / 32) as usize).max(1)
-    }
-}
-
-/// Streaming method of conditional expectations: fix bits MSB-first, each
-/// step computing both half-space means as parallel seed-range folds.  No
-/// cost table is materialized; total evaluations are `2^{d+1} - 2` plus a
-/// final re-evaluation of the chosen seed (the classic streaming/space
-/// trade against the table walk, and the form that maps onto one MPC
-/// converge-cast per bit).  `mean_cost`/`min_cost` come from the first
-/// level, whose two folds jointly cover the entire space.
-fn streaming_bitwise_walk<S, M, F>(
-    seed_bits: u32,
-    workers: usize,
-    make_scratch: &M,
-    eval_block: &F,
-) -> SeedSelection
-where
-    S: Send,
-    M: Fn() -> S + Sync,
-    F: Fn(u64, &mut [f64], &mut S) + Sync,
-{
-    let space = 1u64 << seed_bits;
-    // One scratch pool for the whole walk, sized for the widest level —
-    // the 2·seed_bits half-space folds reuse these arenas instead of
-    // constructing (and zeroing) fresh ones per fold.
-    let top_block = 1u64 << (seed_bits - 1);
-    let mut pool: Vec<S> = (0..seed_workers(top_block.max(1), workers))
-        .map(|_| make_scratch())
-        .collect();
-    let mut prefix: u64 = 0;
-    let mut trace = Vec::with_capacity(seed_bits as usize);
-    let mut mean = 0.0;
-    let mut min = f64::INFINITY;
-    for fixed in 0..seed_bits {
-        let bit = seed_bits - 1 - fixed; // position being fixed this step
-        let block = 1u64 << bit; // size of each half under the prefix
-        let w = seed_workers(block, workers).min(pool.len());
-        let f0 = fold_seed_range_in(&mut pool[..w], prefix, block, eval_block);
-        let f1 = fold_seed_range_in(&mut pool[..w], prefix | block, block, eval_block);
-        if fixed == 0 {
-            mean = (f0.sum + f1.sum) / space as f64;
-            min = f0.min.min(f1.min);
-        }
-        let mean0 = f0.sum / block as f64;
-        let mean1 = f1.sum / block as f64;
-        trace.push((bit, mean0, mean1));
-        if mean1 < mean0 {
-            prefix |= block;
-        }
-    }
-    let mut chosen = [0.0f64];
-    eval_block(prefix, &mut chosen, &mut pool[0]);
-    SeedSelection {
-        seed: prefix,
-        cost: chosen[0],
-        mean_cost: mean,
-        min_cost: min,
-        evaluated: space,
-        trace,
     }
 }
 
@@ -722,6 +745,67 @@ mod tests {
                 assert_eq!(reference.mean_cost, got.mean_cost, "{strategy:?}");
                 assert_eq!(reference.trace, got.trace, "{strategy:?}");
             }
+        }
+    }
+
+    /// An external [`RangeFolder`] — here a toy serial one standing in
+    /// for a remote fleet — must reproduce the local selection
+    /// field-for-field for every strategy, including when its folds
+    /// arrive as out-of-order unit merges (grouping invariance).
+    #[test]
+    fn foreign_folder_matches_local_path() {
+        struct SerialFolder<F: Fn(u64) -> f64>(F);
+        impl<F: Fn(u64) -> f64> RangeFolder for SerialFolder<F> {
+            fn fold_range(&mut self, start: u64, len: u64) -> SumMinArgmin {
+                // Merge in deliberately scrambled unit order, the way
+                // remote completions arrive.
+                let unit = 8u64;
+                let nunits = len.div_ceil(unit);
+                let mut parts: Vec<SumMinArgmin> = (0..nunits)
+                    .map(|u| {
+                        let s = start + u * unit;
+                        let l = (start + len - s).min(unit);
+                        let mut acc = SumMinArgmin::EMPTY;
+                        for seed in s..s + l {
+                            acc.observe(seed, (self.0)(seed));
+                        }
+                        acc
+                    })
+                    .collect();
+                parts.reverse();
+                parts
+                    .into_iter()
+                    .fold(SumMinArgmin::EMPTY, |a, b| a.merge(b))
+            }
+            fn eval_seed(&mut self, seed: u64) -> f64 {
+                (self.0)(seed)
+            }
+        }
+        let cost = |s: u64| ((s * 53 + 7) % 17) as f64;
+        for strategy in [
+            SeedStrategy::Exhaustive,
+            SeedStrategy::BitwiseCondExp,
+            SeedStrategy::FixedSubset(23),
+            SeedStrategy::SingleSeed(5),
+        ] {
+            let local = select_seed_blocks_n(
+                8,
+                strategy,
+                1,
+                || (),
+                |s0, out: &mut [f64], _| {
+                    for (i, o) in out.iter_mut().enumerate() {
+                        *o = cost(s0 + i as u64);
+                    }
+                },
+            );
+            let foreign = select_seed_folded(8, strategy, &mut SerialFolder(cost));
+            assert_eq!(local.seed, foreign.seed, "{strategy:?}");
+            assert_eq!(local.cost, foreign.cost, "{strategy:?}");
+            assert_eq!(local.mean_cost, foreign.mean_cost, "{strategy:?}");
+            assert_eq!(local.min_cost, foreign.min_cost, "{strategy:?}");
+            assert_eq!(local.evaluated, foreign.evaluated, "{strategy:?}");
+            assert_eq!(local.trace, foreign.trace, "{strategy:?}");
         }
     }
 

@@ -7,8 +7,15 @@
 //! every remaining uncolored node with probability p after *every*
 //! framework step, on top of genuine SSP failures — and require the full
 //! solvers to still terminate with verified colorings.
+//!
+//! The `network_chaos_*` legs layer **distribution failures** on top:
+//! the same solves run on a loopback coordinator/worker cluster behind
+//! the deterministic chaos proxy (kills, stragglers, total fleet
+//! absence), and must still produce verified colorings that are
+//! bit-identical to the single-machine path.
 
-use parcolor_core::{Params, SeedStrategy, Solver};
+use parcolor_core::{D1lcInstance, Params, SeedStrategy, Solver};
+use parcolor_dist::{solve_on_cluster, ChaosConfig, DistConfig};
 use parcolor_graphgen as gen;
 
 fn chaos_params(p: f64) -> Params {
@@ -72,6 +79,112 @@ fn chaos_is_deterministic_too() {
     let a = Solver::deterministic(chaos_params(0.2)).solve(&inst);
     let b = Solver::deterministic(chaos_params(0.2)).solve(&inst);
     assert_eq!(a.colors, b.colors);
+}
+
+// ---- network chaos: the distributed seed search under fire ----
+
+/// Job codec for the cluster legs: generator parameters, so every node
+/// rebuilds the identical instance (the CLI ships DIMACS instead).
+fn net_decode(job: &[u8]) -> (D1lcInstance, Params) {
+    let p: Vec<&str> = std::str::from_utf8(job)
+        .unwrap()
+        .split_whitespace()
+        .collect();
+    let inst = gen::degree_plus_one(gen::gnm(
+        p[0].parse().unwrap(),
+        p[1].parse().unwrap(),
+        p[2].parse().unwrap(),
+    ));
+    let params = Params::default()
+        .with_seed_bits(p[3].parse().unwrap())
+        .with_strategy(SeedStrategy::Exhaustive)
+        .with_chaos(p[4].parse().unwrap());
+    (inst, params)
+}
+
+fn net_job(n: usize, m: usize, seed: u64, bits: u32, chaos: f64) -> Vec<u8> {
+    format!("{n} {m} {seed} {bits} {chaos}").into_bytes()
+}
+
+fn net_cfg(min_workers: usize) -> DistConfig {
+    DistConfig {
+        lease_timeout_ms: 30,
+        poll_ms: 2,
+        local_patience_ms: 300,
+        min_workers,
+        min_worker_wait_ms: 10_000,
+        connect_backoff_ms: 10,
+        max_backoff_ms: 100,
+        idle_reconnect_ms: 400,
+        ..DistConfig::default()
+    }
+}
+
+fn net_expected(job: &[u8]) -> Vec<u32> {
+    let (inst, params) = net_decode(job);
+    let sol = Solver::deterministic(params).solve(&inst);
+    inst.verify_coloring(&sol.colors).unwrap();
+    sol.colors
+}
+
+#[test]
+fn network_chaos_worker_killed_mid_lease() {
+    // Deferral chaos *and* a link that dies every 11 frames: severed
+    // leases re-issue, the worker reconnects through the kill loop, and
+    // the coloring stays bit-identical to the single-machine solve.
+    let job = net_job(600, 3_000, 21, 7, 0.10);
+    let expected = net_expected(&job);
+    let out = solve_on_cluster(
+        &job,
+        net_decode,
+        1,
+        &[Some(ChaosConfig::killer(77, 11))],
+        net_cfg(1),
+    );
+    let (inst, _) = net_decode(&job);
+    inst.verify_coloring(&out.coordinator.colors).unwrap();
+    assert_eq!(out.coordinator.colors, expected, "{:?}", out.stats);
+    if let Some(w) = &out.workers[0] {
+        assert_eq!(w.colors, expected, "worker replica diverged");
+    }
+    assert!(out.stats.reissued >= 1, "{:?}", out.stats);
+}
+
+#[test]
+fn network_chaos_straggler_past_deadline() {
+    // One healthy worker plus one behind an 80 ms link while leases
+    // expire at 30 ms: every straggler lease blows its deadline, its
+    // late results are discarded, and the fast worker (or the local
+    // fallback) re-serves the units — exactly once.
+    let job = net_job(600, 3_000, 22, 7, 0.10);
+    let expected = net_expected(&job);
+    let out = solve_on_cluster(
+        &job,
+        net_decode,
+        2,
+        &[None, Some(ChaosConfig::straggler(78, 80, 40))],
+        net_cfg(2),
+    );
+    let (inst, _) = net_decode(&job);
+    inst.verify_coloring(&out.coordinator.colors).unwrap();
+    assert_eq!(out.coordinator.colors, expected, "{:?}", out.stats);
+    assert_eq!(out.workers[0].as_ref().unwrap().colors, expected);
+    assert!(out.stats.expired >= 1, "{:?}", out.stats);
+    assert!(out.stats.reissued >= 1, "{:?}", out.stats);
+}
+
+#[test]
+fn network_chaos_coordinator_alone_degrades_to_local() {
+    // The fleet never shows up at all; the coordinator's graceful
+    // degradation serves every fold from its own pool.
+    let job = net_job(600, 3_000, 23, 7, 0.10);
+    let expected = net_expected(&job);
+    let out = solve_on_cluster(&job, net_decode, 0, &[], net_cfg(0));
+    let (inst, _) = net_decode(&job);
+    inst.verify_coloring(&out.coordinator.colors).unwrap();
+    assert_eq!(out.coordinator.colors, expected);
+    assert!(out.stats.local_units >= 1);
+    assert_eq!(out.stats.remote_units, 0);
 }
 
 #[test]
