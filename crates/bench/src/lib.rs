@@ -77,6 +77,37 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (r, t0.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Peak resident set size of this process in bytes.
+///
+/// Reads `VmHWM` from `/proc/self/status` on Linux; returns 0 on other
+/// platforms.  The kernel's high-water mark is monotone over the process
+/// lifetime, so successive calls report the cumulative peak — scale
+/// sweeps should order their legs smallest-first and read this after
+/// each leg.
+pub fn peak_rss() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
 /// Format helpers.
 /// Format with one decimal place.
 pub fn f1(x: f64) -> String {
@@ -124,5 +155,16 @@ mod tests {
         let (v, ms) = timed(|| 42);
         assert_eq!(v, 42);
         assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM should be readable");
+            // A test process certainly holds more than 64 KiB and less
+            // than 1 TiB; catches unit mix-ups (kB vs bytes).
+            assert!(rss > 64 * 1024 && rss < 1 << 40);
+        }
     }
 }

@@ -1,15 +1,21 @@
 //! `parcolor` — deterministic (degree+1)-list coloring from the shell.
 //!
 //! ```text
-//! parcolor solve       <graph.col> [-o coloring.txt] [--randomized <key>] [--seed-bits B]
+//! parcolor solve       <graph.col|.pcg> [-o coloring.txt] [--randomized <key>] [--seed-bits B]
 //!                      [--workers W]
-//! parcolor verify      <graph.col> <coloring.txt>
-//! parcolor gen         <family> <n> <param> [seed] [-o graph.col]
-//! parcolor stats       <graph.col>
-//! parcolor coordinator <graph.col> --listen HOST:PORT [--min-workers K] [--seed-bits B]
+//! parcolor verify      <graph.col|.pcg> <coloring.txt>
+//! parcolor gen         <family> <n> <param> [seed] [-o graph.col|.pcg]
+//! parcolor convert     <in.col|.pcg> <out.col|.pcg>
+//! parcolor stats       <graph.col|.pcg>
+//! parcolor coordinator <graph.col|.pcg> --listen HOST:PORT [--min-workers K] [--seed-bits B]
 //!                      [--strategy ex|bw|fs:K|ss:S] [--workers W] [-o coloring.txt]
 //! parcolor worker      --connect HOST:PORT [--workers W]
 //! ```
+//!
+//! Every graph argument accepts either text DIMACS or the binary `.pcg`
+//! container (selected by extension).  `.pcg` is the scale path: graphs
+//! load zero-copy via `mmap` on little-endian unix, and `gen -o x.pcg`
+//! writes it directly.
 //!
 //! `--workers` runs the whole pipeline — seed search, striped round
 //! simulation, and the parallel reduces — on W executor workers (0 =
@@ -30,7 +36,9 @@
 
 use parcolor_cli::args::parse_solve_args;
 use parcolor_cli::job::{decode_job, encode_job, parse_strategy};
-use parcolor_cli::{instance_of, parse_coloring, parse_dimacs, write_coloring, write_dimacs};
+use parcolor_cli::pcg::write_pcg;
+use parcolor_cli::{instance_of, load_graph, parse_coloring, write_coloring, write_dimacs};
+use parcolor_core::Graph;
 use parcolor_core::{Params, SeedStrategy, Solution, Solver};
 use parcolor_dist::{run_worker, DistConfig, DistCoordinator};
 use std::fs::File;
@@ -40,7 +48,7 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  parcolor solve       <graph.col> [-o out.txt] [--randomized <key>] [--seed-bits B] [--workers W]\n  parcolor verify      <graph.col> <coloring.txt>\n  parcolor gen         <gnm|gnp|regular|powerlaw|ring|torus> <n> <param> [seed] [-o out.col]\n  parcolor stats       <graph.col>\n  parcolor coordinator <graph.col> --listen HOST:PORT [--min-workers K] [--seed-bits B] [--strategy S] [--workers W] [-o out.txt]\n  parcolor worker      --connect HOST:PORT [--workers W]"
+        "usage:\n  parcolor solve       <graph.col|.pcg> [-o out.txt] [--randomized <key>] [--seed-bits B] [--workers W]\n  parcolor verify      <graph.col|.pcg> <coloring.txt>\n  parcolor gen         <gnm|gnp|regular|powerlaw|ring|torus> <n> <param> [seed] [-o out.col|.pcg]\n  parcolor convert     <in.col|.pcg> <out.col|.pcg>\n  parcolor stats       <graph.col|.pcg>\n  parcolor coordinator <graph.col|.pcg> --listen HOST:PORT [--min-workers K] [--seed-bits B] [--strategy S] [--workers W] [-o out.txt]\n  parcolor worker      --connect HOST:PORT [--workers W]"
     );
     exit(2)
 }
@@ -65,6 +73,7 @@ fn main() {
         Some("solve") => cmd_solve(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("coordinator") => cmd_coordinator(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
@@ -109,7 +118,7 @@ fn emit_coloring(out: Option<&str>, colors: &[u32]) {
 
 fn cmd_solve(args: &[String]) {
     let opts = parse_solve_args(args).unwrap_or_else(|e| die_usage("solve", &e));
-    let g = parse_dimacs(open(&opts.input)).unwrap_or_else(|e| {
+    let g = load_graph(&opts.input).unwrap_or_else(|e| {
         eprintln!("parse error: {e}");
         exit(1)
     });
@@ -150,7 +159,7 @@ fn cmd_coordinator(args: &[String]) {
         None => SeedStrategy::FixedSubset(16),
     };
 
-    let g = parse_dimacs(open(input)).unwrap_or_else(|e| {
+    let g = load_graph(input).unwrap_or_else(|e| {
         eprintln!("parse error: {e}");
         exit(1)
     });
@@ -256,7 +265,7 @@ fn cmd_verify(args: &[String]) {
         [g, c, ..] => (g, c),
         _ => usage(),
     };
-    let g = parse_dimacs(open(gp)).unwrap_or_else(|e| {
+    let g = load_graph(gp).unwrap_or_else(|e| {
         eprintln!("parse error: {e}");
         exit(1)
     });
@@ -312,17 +321,48 @@ fn cmd_gen(args: &[String]) {
     let comment = format!("parcolor gen {family} n={n} param={param} seed={seed}");
     match flag_value(args, "-o") {
         Some(out) => {
-            let f = BufWriter::new(File::create(out).expect("create output"));
-            write_dimacs(f, &g, &comment).expect("write");
+            write_graph_file(out, &g, &comment);
             eprintln!("graph written to {out} (n={} m={})", g.n(), g.m());
         }
         None => write_dimacs(std::io::stdout().lock(), &g, &comment).expect("write"),
     }
 }
 
+/// Write `g` to `out`, choosing the format by extension (`.pcg` binary,
+/// DIMACS otherwise).
+fn write_graph_file(out: &str, g: &Graph, comment: &str) {
+    let f = BufWriter::new(File::create(out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        exit(1)
+    }));
+    if out.ends_with(".pcg") {
+        write_pcg(f, g).expect("write");
+    } else {
+        write_dimacs(f, g, comment).expect("write");
+    }
+}
+
+fn cmd_convert(args: &[String]) {
+    let (input, out) = match args {
+        [i, o, ..] => (i.as_str(), o.as_str()),
+        _ => usage(),
+    };
+    let g = load_graph(input).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        exit(1)
+    });
+    write_graph_file(out, &g, &format!("converted from {input}"));
+    eprintln!(
+        "{input} -> {out} (n={} m={}{})",
+        g.n(),
+        g.m(),
+        if g.is_mapped() { ", source mmap'd" } else { "" }
+    );
+}
+
 fn cmd_stats(args: &[String]) {
     let path = args.first().unwrap_or_else(|| usage());
-    let g = parse_dimacs(open(path)).unwrap_or_else(|e| {
+    let g = load_graph(path).unwrap_or_else(|e| {
         eprintln!("parse error: {e}");
         exit(1)
     });

@@ -3,9 +3,17 @@
 //!
 //! A job is everything a worker replica needs to run the *identical*
 //! deterministic solve: the graph and the seed-search parameters.  The
-//! format is a one-line text header followed by the DIMACS graph —
-//! human-inspectable on the wire and reusing the battle-tested DIMACS
-//! parser for the heavy part:
+//! format is a one-line text header followed by the graph payload:
+//!
+//! ```text
+//! parcolor-job 2 <seed_bits> <strategy>
+//! <.pcg container bytes — see crate::pcg>
+//! ```
+//!
+//! Version 2 (current) ships the binary `.pcg` container, so workers
+//! decode the CSR arrays directly instead of re-parsing text DIMACS on
+//! every `Welcome`; the checksum guards the wire transfer for free.
+//! Version 1 (DIMACS payload) is still decoded for compatibility:
 //!
 //! ```text
 //! parcolor-job 1 <seed_bits> <strategy>
@@ -21,12 +29,13 @@
 //! [`decode_job`] — the coordinator decodes its *own* encoding — so the
 //! replicas can never disagree on a default the header doesn't carry.
 
-use crate::{parse_dimacs, write_dimacs};
+use crate::parse_dimacs;
+use crate::pcg::{read_pcg_bytes, write_pcg};
 use parcolor_core::{D1lcInstance, Graph, Params, SeedStrategy};
 use std::io::BufReader;
 
 /// Current job-format version (the leading header field).
-pub const JOB_VERSION: u32 = 1;
+pub const JOB_VERSION: u32 = 2;
 
 fn strategy_token(s: SeedStrategy) -> String {
     match s {
@@ -59,14 +68,15 @@ pub fn parse_strategy(tok: &str) -> Result<SeedStrategy, String> {
     }
 }
 
-/// Encode a graph + the seed-search parameters as job bytes.
+/// Encode a graph + the seed-search parameters as job bytes (version 2:
+/// `.pcg` payload).
 pub fn encode_job(g: &Graph, seed_bits: u32, strategy: SeedStrategy) -> Vec<u8> {
     let mut out = format!(
         "parcolor-job {JOB_VERSION} {seed_bits} {}\n",
         strategy_token(strategy)
     )
     .into_bytes();
-    write_dimacs(&mut out, g, "").expect("write to Vec cannot fail");
+    write_pcg(&mut out, g).expect("write to Vec cannot fail");
     out
 }
 
@@ -89,7 +99,7 @@ pub fn decode_job(job: &[u8]) -> Result<(D1lcInstance, Params), String> {
         .next()
         .and_then(|s| s.parse().ok())
         .ok_or("job: bad version field")?;
-    if version != JOB_VERSION {
+    if version != 1 && version != JOB_VERSION {
         return Err(format!(
             "job: version {version} not supported (this build speaks {JOB_VERSION})"
         ));
@@ -102,7 +112,12 @@ pub fn decode_job(job: &[u8]) -> Result<(D1lcInstance, Params), String> {
     if parts.next().is_some() {
         return Err("job: trailing header fields".into());
     }
-    let g = parse_dimacs(BufReader::new(&job[nl + 1..])).map_err(|e| format!("job graph: {e}"))?;
+    let payload = &job[nl + 1..];
+    let g = if version == 1 {
+        parse_dimacs(BufReader::new(payload)).map_err(|e| format!("job graph: {e}"))?
+    } else {
+        read_pcg_bytes(payload).map_err(|e| format!("job graph: {e}"))?
+    };
     let params = Params::default()
         .with_seed_bits(seed_bits)
         .with_strategy(strategy);
@@ -145,5 +160,25 @@ mod tests {
         assert!(decode_job(b"parcolor-job 1 6 fs:many\np edge 1 0\n").is_err());
         assert!(decode_job(b"parcolor-job 1 6 ex extra\np edge 1 0\n").is_err());
         assert!(decode_job(b"parcolor-job 1 6 ex\ne 1 2\n").is_err());
+        // v2 with a mangled binary payload
+        assert!(decode_job(b"parcolor-job 2 6 ex\nnot a pcg container").is_err());
+    }
+
+    #[test]
+    fn still_decodes_version_1_dimacs_jobs() {
+        let job = b"parcolor-job 1 9 fs:16\np edge 4 4\ne 1 2\ne 2 3\ne 3 4\ne 4 1\n";
+        let (inst, params) = decode_job(job).expect("legacy decode");
+        assert_eq!(inst.n(), 4);
+        assert_eq!(inst.graph.m(), 4);
+        assert_eq!(params.seed_bits, 9);
+        assert_eq!(params.strategy, SeedStrategy::FixedSubset(16));
+        assert_eq!(inst.graph, sample_graph());
+    }
+
+    #[test]
+    fn v2_jobs_carry_pcg_payload() {
+        let job = encode_job(&sample_graph(), 6, SeedStrategy::Exhaustive);
+        let header_end = job.iter().position(|&b| b == b'\n').unwrap() + 1;
+        assert_eq!(&job[header_end..header_end + 8], crate::pcg::PCG_MAGIC);
     }
 }

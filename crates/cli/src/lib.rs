@@ -5,6 +5,10 @@
 //! * **DIMACS `.col`** (graph coloring challenge format): `c` comment
 //!   lines, one `p edge <n> <m>` problem line, `e <u> <v>` edge lines
 //!   with **1-based** node ids.
+//! * **Binary `.pcg`** (see [`pcg`]): the CSR arrays in a versioned
+//!   little-endian container with an integrity checksum, loaded
+//!   zero-copy via `mmap` on little-endian unix.  The scale format —
+//!   `parcolor convert` translates between the two.
 //! * **Coloring files**: one `<node> <color>` pair per line (0-based),
 //!   as written by `parcolor solve` and read by `parcolor verify`.
 
@@ -125,8 +129,20 @@ pub fn instance_of(g: Graph) -> D1lcInstance {
     D1lcInstance::delta_plus_one(g)
 }
 
+/// Load a graph by file extension: `.pcg` binary (mmap'd where the
+/// platform allows) or text DIMACS for everything else.
+pub fn load_graph(path: &str) -> Result<Graph, String> {
+    if path.ends_with(".pcg") {
+        pcg::load_pcg(std::path::Path::new(path))
+    } else {
+        let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        parse_dimacs(std::io::BufReader::new(f))
+    }
+}
+
 pub mod args;
 pub mod job;
+pub mod pcg;
 
 #[cfg(test)]
 mod tests {

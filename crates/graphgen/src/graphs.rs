@@ -1,6 +1,15 @@
 //! Graph generators.  All deterministic in `seed`.
+//!
+//! Every generator is expressed as a **re-runnable edge stream** fed to
+//! [`Graph::from_edge_stream`]: the stream closure replays the exact
+//! same draw sequence (seeded rng, dedup set and all) on both passes,
+//! so the two-pass builder counts degrees and then scatters without
+//! ever materializing a `Vec<(u32, u32)>` edge list.  This is the
+//! memory-lean construction path that makes n = 10^7 instances fit;
+//! outputs are bit-identical to the old `GraphBuilder` versions.
 
-use parcolor_local::graph::{Graph, GraphBuilder, NodeId};
+use crate::edgeset::EdgeSet;
+use parcolor_local::graph::{Graph, NodeId};
 use parcolor_local::tape::SplitMix;
 
 /// Erdős–Rényi `G(n, m)`: `m` distinct uniform edges.
@@ -8,30 +17,26 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
     assert!(n >= 2);
     let max_edges = n * (n - 1) / 2;
     assert!(m <= max_edges, "m={m} exceeds max {max_edges}");
-    let mut rng = SplitMix::new(seed);
-    let mut builder = GraphBuilder::new(n);
-    let mut seen = std::collections::HashSet::with_capacity(m * 2);
-    let mut added = 0usize;
-    while added < m {
-        let a = rng.below(n as u64) as NodeId;
-        let b = rng.below(n as u64) as NodeId;
-        if a == b {
-            continue;
+    Graph::from_edge_stream(n, |sink| {
+        let mut rng = SplitMix::new(seed);
+        let mut seen = EdgeSet::with_capacity(m);
+        while seen.len() < m {
+            let a = rng.below(n as u64) as NodeId;
+            let b = rng.below(n as u64) as NodeId;
+            if a != b && seen.insert(a, b) {
+                sink(a.min(b), a.max(b));
+            }
         }
-        let key = if a < b { (a, b) } else { (b, a) };
-        if seen.insert(key) {
-            builder.add_edge(key.0, key.1);
-            added += 1;
-        }
-    }
-    builder.build()
+    })
 }
 
 /// Erdős–Rényi `G(n, p)` via the geometric skipping method — `O(m)` time.
 pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p));
-    let mut builder = GraphBuilder::new(n);
-    if p > 0.0 {
+    Graph::from_edge_stream(n, |sink| {
+        if p <= 0.0 {
+            return;
+        }
         let mut rng = SplitMix::new(seed);
         let log1p = (1.0 - p).ln();
         let mut v: i64 = 1;
@@ -48,34 +53,34 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
                 v += 1;
             }
             if (v as usize) < n {
-                builder.add_edge(w as NodeId, v as NodeId);
+                sink(w as NodeId, v as NodeId);
             }
         }
-    }
-    builder.build()
+    })
 }
 
 /// Random `d`-regular-ish graph by the pairing model (collisions dropped,
 /// so degrees are `≤ d`, concentrated at `d`).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     assert!((n * d).is_multiple_of(2), "n*d must be even");
-    let mut rng = SplitMix::new(seed);
-    let mut stubs: Vec<NodeId> = (0..n as NodeId).flat_map(|v| vec![v; d]).collect();
-    rng.shuffle(&mut stubs);
-    let mut builder = GraphBuilder::new(n);
-    for pair in stubs.chunks(2) {
-        if pair.len() == 2 && pair[0] != pair[1] {
-            builder.add_edge(pair[0], pair[1]);
+    Graph::from_edge_stream(n, |sink| {
+        let mut rng = SplitMix::new(seed);
+        let mut stubs: Vec<NodeId> = (0..n as NodeId)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
+        rng.shuffle(&mut stubs);
+        for pair in stubs.chunks(2) {
+            if pair.len() == 2 && pair[0] != pair[1] {
+                sink(pair[0], pair[1]);
+            }
         }
-    }
-    builder.build()
+    })
 }
 
 /// Chung–Lu power-law graph: expected degree of node `i` is proportional
 /// to `(i+1)^{-1/(γ-1)}`, scaled to average degree `avg_deg`.
 pub fn power_law(n: usize, gamma: f64, avg_deg: f64, seed: u64) -> Graph {
     assert!(gamma > 2.0, "gamma must exceed 2 for bounded expectation");
-    let mut rng = SplitMix::new(seed);
     let exp = -1.0 / (gamma - 1.0);
     let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exp)).collect();
     let wsum: f64 = weights.iter().sum();
@@ -96,23 +101,20 @@ pub fn power_law(n: usize, gamma: f64, avg_deg: f64, seed: u64) -> Graph {
         cdf.partition_point(|&c| c < x).min(n - 1) as NodeId
     };
     let target = (wsum / 2.0) as usize;
-    let mut builder = GraphBuilder::new(n);
-    let mut seen = std::collections::HashSet::new();
-    for _ in 0..target * 2 {
-        if seen.len() >= target {
-            break;
+    Graph::from_edge_stream(n, |sink| {
+        let mut rng = SplitMix::new(seed);
+        let mut seen = EdgeSet::with_capacity(target);
+        for _ in 0..target * 2 {
+            if seen.len() >= target {
+                break;
+            }
+            let a = draw(&mut rng);
+            let b = draw(&mut rng);
+            if a != b && seen.insert(a, b) {
+                sink(a.min(b), a.max(b));
+            }
         }
-        let a = draw(&mut rng);
-        let b = draw(&mut rng);
-        if a == b {
-            continue;
-        }
-        let key = if a < b { (a, b) } else { (b, a) };
-        if seen.insert(key) {
-            builder.add_edge(key.0, key.1);
-        }
-    }
-    builder.build()
+    })
 }
 
 /// Planted almost-cliques: `k` cliques of the given sizes, each with an
@@ -128,78 +130,82 @@ pub fn planted_cliques(
 ) -> Graph {
     let clique_total: usize = clique_sizes.iter().sum();
     let n = clique_total + sparse_n;
-    let mut rng = SplitMix::new(seed);
-    let mut builder = GraphBuilder::new(n);
-    let mut base = 0u32;
-    for &s in clique_sizes {
-        for a in 0..s as u32 {
-            for b in (a + 1)..s as u32 {
-                if rng.f64() >= eps {
-                    builder.add_edge(base + a, base + b);
+    Graph::from_edge_stream(n, |sink| {
+        let mut rng = SplitMix::new(seed);
+        let mut base = 0u32;
+        for &s in clique_sizes {
+            for a in 0..s as u32 {
+                for b in (a + 1)..s as u32 {
+                    if rng.f64() >= eps {
+                        sink(base + a, base + b);
+                    }
                 }
             }
+            base += s as u32;
         }
-        base += s as u32;
-    }
-    // Sparse background.
-    if sparse_n >= 2 {
-        for _ in 0..(sparse_n * sparse_avg_deg / 2) {
-            let a = base + rng.below(sparse_n as u64) as u32;
-            let b = base + rng.below(sparse_n as u64) as u32;
-            if a != b {
-                builder.add_edge(a, b);
+        // Sparse background.
+        if sparse_n >= 2 {
+            for _ in 0..(sparse_n * sparse_avg_deg / 2) {
+                let a = base + rng.below(sparse_n as u64) as u32;
+                let b = base + rng.below(sparse_n as u64) as u32;
+                if a != b {
+                    sink(a, b);
+                }
+            }
+            // Light wiring between cliques and cloud.
+            for _ in 0..clique_total / 4 {
+                let a = rng.below(clique_total as u64) as u32;
+                let b = base + rng.below(sparse_n as u64) as u32;
+                sink(a, b);
             }
         }
-        // Light wiring between cliques and cloud.
-        for _ in 0..clique_total / 4 {
-            let a = rng.below(clique_total as u64) as u32;
-            let b = base + rng.below(sparse_n as u64) as u32;
-            builder.add_edge(a, b);
-        }
-    }
-    builder.build()
+    })
 }
 
 /// Ring (cycle) on `n` nodes.
 pub fn ring(n: usize) -> Graph {
     assert!(n >= 3);
-    let edges: Vec<_> = (0..n as NodeId)
-        .map(|i| (i, (i + 1) % n as NodeId))
-        .collect();
-    Graph::from_edges(n, &edges)
+    Graph::from_edge_stream(n, |sink| {
+        for i in 0..n as NodeId {
+            sink(i, (i + 1) % n as NodeId);
+        }
+    })
 }
 
 /// 2D torus grid `rows × cols` (4-regular).
 pub fn torus(rows: usize, cols: usize) -> Graph {
     assert!(rows >= 3 && cols >= 3);
     let idx = |r: usize, c: usize| (r * cols + c) as NodeId;
-    let mut edges = Vec::with_capacity(rows * cols * 2);
-    for r in 0..rows {
-        for c in 0..cols {
-            edges.push((idx(r, c), idx(r, (c + 1) % cols)));
-            edges.push((idx(r, c), idx((r + 1) % rows, c)));
+    Graph::from_edge_stream(rows * cols, |sink| {
+        for r in 0..rows {
+            for c in 0..cols {
+                sink(idx(r, c), idx(r, (c + 1) % cols));
+                sink(idx(r, c), idx((r + 1) % rows, c));
+            }
         }
-    }
-    Graph::from_edges(rows * cols, &edges)
+    })
 }
 
 /// Star with `n - 1` leaves (maximal unevenness at the leaves).
 pub fn star(n: usize) -> Graph {
     assert!(n >= 2);
-    let edges: Vec<_> = (1..n as NodeId).map(|i| (0, i)).collect();
-    Graph::from_edges(n, &edges)
+    Graph::from_edge_stream(n, |sink| {
+        for i in 1..n as NodeId {
+            sink(0, i);
+        }
+    })
 }
 
 /// Complete bipartite `K_{a,b}` (dense yet triangle-free: maximal sparsity
 /// at every node — a stress case for the ACD classifier).
 pub fn complete_bipartite(a: usize, b: usize) -> Graph {
-    let mut edges = Vec::with_capacity(a * b);
-    for x in 0..a as NodeId {
-        for y in 0..b as NodeId {
-            edges.push((x, a as NodeId + y));
+    Graph::from_edge_stream(a + b, |sink| {
+        for x in 0..a as NodeId {
+            for y in 0..b as NodeId {
+                sink(x, a as NodeId + y);
+            }
         }
-    }
-    Graph::from_edges(a + b, &edges)
+    })
 }
 
 /// Random tree with maximum degree `max_deg`: each new node attaches to a
@@ -208,23 +214,23 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
 /// bound lives here).
 pub fn bounded_degree_tree(n: usize, max_deg: usize, seed: u64) -> Graph {
     assert!(n >= 1 && max_deg >= 2);
-    let mut rng = SplitMix::new(seed);
-    let mut builder = GraphBuilder::new(n);
-    let mut capacity: Vec<u32> = Vec::with_capacity(n);
-    capacity.push(max_deg as u32);
-    let mut open: Vec<NodeId> = vec![0];
-    for v in 1..n as NodeId {
-        let slot = rng.below(open.len() as u64) as usize;
-        let parent = open[slot];
-        builder.add_edge(parent, v);
-        capacity[parent as usize] -= 1;
-        if capacity[parent as usize] == 0 {
-            open.swap_remove(slot);
+    Graph::from_edge_stream(n, |sink| {
+        let mut rng = SplitMix::new(seed);
+        let mut capacity: Vec<u32> = Vec::with_capacity(n);
+        capacity.push(max_deg as u32);
+        let mut open: Vec<NodeId> = vec![0];
+        for v in 1..n as NodeId {
+            let slot = rng.below(open.len() as u64) as usize;
+            let parent = open[slot];
+            sink(parent, v);
+            capacity[parent as usize] -= 1;
+            if capacity[parent as usize] == 0 {
+                open.swap_remove(slot);
+            }
+            capacity.push(max_deg as u32 - 1);
+            open.push(v);
         }
-        capacity.push(max_deg as u32 - 1);
-        open.push(v);
-    }
-    builder.build()
+    })
 }
 
 /// Caterpillar: a spine path of length `spine` with `legs` leaves per
@@ -233,16 +239,16 @@ pub fn bounded_degree_tree(n: usize, max_deg: usize, seed: u64) -> Graph {
 pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     assert!(spine >= 2);
     let n = spine * (1 + legs);
-    let mut builder = GraphBuilder::new(n);
-    for i in 0..spine as NodeId - 1 {
-        builder.add_edge(i, i + 1);
-    }
-    for i in 0..spine as NodeId {
-        for l in 0..legs as NodeId {
-            builder.add_edge(i, spine as NodeId + i * legs as NodeId + l);
+    Graph::from_edge_stream(n, |sink| {
+        for i in 0..spine as NodeId - 1 {
+            sink(i, i + 1);
         }
-    }
-    builder.build()
+        for i in 0..spine as NodeId {
+            for l in 0..legs as NodeId {
+                sink(i, spine as NodeId + i * legs as NodeId + l);
+            }
+        }
+    })
 }
 
 #[cfg(test)]

@@ -8,8 +8,10 @@
 //! unevenness), and adversarial palettes for genuine *list* coloring.
 //! All generators are deterministic in their seed.
 
+pub mod edgeset;
 pub mod graphs;
 pub mod palettes;
 
+pub use edgeset::EdgeSet;
 pub use graphs::*;
 pub use palettes::*;

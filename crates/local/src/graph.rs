@@ -11,21 +11,118 @@ use rayon::prelude::*;
 /// Dense node identifier.
 pub type NodeId = u32;
 
+/// Backing storage for the two CSR arrays — the `GraphStore` of the
+/// crate docs.  Owned heap vectors are the default; on little-endian
+/// unix targets a graph can instead borrow its arrays zero-copy out of
+/// an mmap'd `.pcg` file ([`crate::store::MappedCsr`]).  Every [`Graph`]
+/// accessor resolves through [`Graph::offsets`]/[`Graph::adj`], so the
+/// two storages are observationally identical.
+#[derive(Clone, Debug)]
+enum Store {
+    /// Heap-owned CSR arrays.
+    Owned {
+        /// `offsets[v]..offsets[v+1]` indexes `adj` for node `v`.
+        offsets: Vec<u64>,
+        /// Concatenated sorted adjacency lists.
+        adj: Vec<NodeId>,
+    },
+    /// Arrays borrowed zero-copy from a shared read-only memory map.
+    #[cfg(all(unix, target_endian = "little"))]
+    Mapped(crate::store::MappedCsr),
+}
+
 /// An immutable undirected simple graph in CSR form.
 ///
 /// Invariants (checked in debug builds and by the constructors):
 /// * adjacency lists are sorted and duplicate-free,
 /// * the graph is symmetric (`u ∈ N(v)` iff `v ∈ N(u)`),
 /// * there are no self-loops.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Graph {
-    /// `offsets[v]..offsets[v+1]` indexes `adj` for node `v`.
-    offsets: Vec<u64>,
-    /// Concatenated sorted adjacency lists.
-    adj: Vec<NodeId>,
+    store: Store,
 }
 
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical CSR equality — an mmap-backed graph equals its owned
+        // twin whenever offsets and adjacency match bit for bit.
+        self.offsets() == other.offsets() && self.adj() == other.adj()
+    }
+}
+
+impl Eq for Graph {}
+
 impl Graph {
+    /// The offsets array: `offsets[v]..offsets[v+1]` indexes [`Graph::adj`]
+    /// for node `v`.  Exposed for codecs and bit-identity assertions.
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        match &self.store {
+            Store::Owned { offsets, .. } => offsets,
+            #[cfg(all(unix, target_endian = "little"))]
+            Store::Mapped(m) => m.offsets(),
+        }
+    }
+
+    /// The concatenated sorted adjacency array.  Exposed for codecs and
+    /// bit-identity assertions.
+    #[inline]
+    pub fn adj(&self) -> &[NodeId] {
+        match &self.store {
+            Store::Owned { adj, .. } => adj,
+            #[cfg(all(unix, target_endian = "little"))]
+            Store::Mapped(m) => m.adj(),
+        }
+    }
+
+    /// Whether this graph borrows its arrays from a memory map.
+    pub fn is_mapped(&self) -> bool {
+        #[cfg(all(unix, target_endian = "little"))]
+        {
+            matches!(self.store, Store::Mapped(_))
+        }
+        #[cfg(not(all(unix, target_endian = "little")))]
+        {
+            false
+        }
+    }
+
+    /// Wrap zero-copy mapped CSR arrays as a graph.
+    ///
+    /// Runs the cheap linear structural checks (monotone offsets that
+    /// cover `adj`, strictly sorted rows, in-range neighbors, no
+    /// self-loops) — `O(n + m)` with no allocation.  Symmetry is *not*
+    /// re-verified here: `.pcg` files are written from already-valid
+    /// graphs and integrity-checked by the codec's checksum; debug
+    /// builds still run the full [`Graph::validate`].
+    #[cfg(all(unix, target_endian = "little"))]
+    pub fn from_mapped(csr: crate::store::MappedCsr) -> Result<Self, String> {
+        {
+            let offsets = csr.offsets();
+            let adj = csr.adj();
+            let n = offsets.len() - 1;
+            if *offsets.last().unwrap() as usize != adj.len() || offsets[0] != 0 {
+                return Err("mapped graph: offsets do not cover adj".into());
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err("mapped graph: offsets not monotone".into());
+            }
+            for v in 0..n {
+                let row = &adj[offsets[v] as usize..offsets[v + 1] as usize];
+                if !row.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("mapped graph: adjacency of {v} not sorted/dedup"));
+                }
+                if row.iter().any(|&u| u as usize >= n || u as usize == v) {
+                    return Err(format!("mapped graph: bad neighbor at {v}"));
+                }
+            }
+        }
+        let g = Graph {
+            store: Store::Mapped(csr),
+        };
+        debug_assert!(g.validate().is_ok(), "invalid mapped CSR");
+        Ok(g)
+    }
     /// Build a graph from an edge list over `n` nodes.
     ///
     /// Edges may appear in any orientation and with duplicates; self-loops
@@ -38,36 +135,66 @@ impl Graph {
         builder.build()
     }
 
+    /// Build a graph from a **re-runnable** edge stream over `n` nodes,
+    /// without ever materializing the edge list.
+    ///
+    /// `stream` is invoked twice with an edge sink and must emit the
+    /// *exact same* edge sequence both times (deterministic generators
+    /// replayed from the same seed qualify).  The first pass counts
+    /// degrees, the second scatters directly into the CSR adjacency
+    /// array; rows are then sorted and deduplicated in place.  Peak
+    /// memory is the final CSR plus one `u64` cursor per node — no
+    /// `Vec<(u32, u32)>` edge buffer and no global sort scratch, which
+    /// is what makes n = 10^7 instances fit.
+    ///
+    /// Output is bit-identical to queueing the same edges on a
+    /// [`GraphBuilder`]: duplicates collapse, orientation is ignored,
+    /// and self-loops or out-of-range endpoints panic.
+    pub fn from_edge_stream<F>(n: usize, stream: F) -> Self
+    where
+        F: Fn(&mut dyn FnMut(NodeId, NodeId)),
+    {
+        let mut sb = StreamBuilder::new(n);
+        stream(&mut |u, v| sb.count_edge(u, v));
+        sb.finish_counting();
+        stream(&mut |u, v| sb.scatter_edge(u, v));
+        sb.finish()
+    }
+
     /// The empty graph on `n` nodes.
     pub fn empty(n: usize) -> Self {
         Graph {
-            offsets: vec![0; n + 1],
-            adj: Vec::new(),
+            store: Store::Owned {
+                offsets: vec![0; n + 1],
+                adj: Vec::new(),
+            },
         }
     }
 
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets().len() - 1
     }
 
     /// Number of undirected edges.
     #[inline]
     pub fn m(&self) -> usize {
-        self.adj.len() / 2
+        self.adj().len() / 2
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+        let offsets = self.offsets();
+        (offsets[v as usize + 1] - offsets[v as usize]) as usize
     }
 
     /// Sorted neighbor slice of `v`.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+        let offsets = self.offsets();
+        &self.adj()[offsets[v as usize] as usize..offsets[v as usize + 1] as usize]
     }
 
     /// Whether the edge `{u, v}` is present. `O(log d(u))`.
@@ -175,7 +302,12 @@ impl Graph {
                 debug_assert_eq!(k, row.len());
             });
         }
-        (Graph { offsets, adj }, sorted)
+        (
+            Graph {
+                store: Store::Owned { offsets, adj },
+            },
+            sorted,
+        )
     }
 
     /// Check that `colors[v] != colors[u]` for every edge; `None` colors
@@ -246,20 +378,54 @@ impl Graph {
     /// Total words needed to store the graph (offsets + adjacency), used by
     /// the MPC space accountant.
     pub fn words(&self) -> usize {
-        self.offsets.len() + self.adj.len()
+        self.offsets().len() + self.adj().len()
     }
 
     /// Construct directly from parts (used by [`GraphBuilder`] and tests).
     pub(crate) fn from_parts(offsets: Vec<u64>, adj: Vec<NodeId>) -> Self {
-        let g = Graph { offsets, adj };
+        let g = Graph {
+            store: Store::Owned { offsets, adj },
+        };
         debug_assert!(g.validate().is_ok(), "invalid CSR parts");
         g
+    }
+
+    /// Construct an owned graph from already-built CSR arrays, running the
+    /// same cheap linear structural checks as [`Graph::from_mapped`].
+    ///
+    /// This is the portable loading path for on-disk formats: codecs parse
+    /// the two arrays and hand them over without an `O(m log m)` rebuild.
+    pub fn from_csr(offsets: Vec<u64>, adj: Vec<NodeId>) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("csr graph: empty offsets array".into());
+        }
+        let n = offsets.len() - 1;
+        if *offsets.last().unwrap() as usize != adj.len() || offsets[0] != 0 {
+            return Err("csr graph: offsets do not cover adj".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("csr graph: offsets not monotone".into());
+        }
+        for v in 0..n {
+            let row = &adj[offsets[v] as usize..offsets[v + 1] as usize];
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("csr graph: adjacency of {v} not sorted/dedup"));
+            }
+            if row.iter().any(|&u| u as usize >= n || u as usize == v) {
+                return Err(format!("csr graph: bad neighbor at {v}"));
+            }
+        }
+        let g = Graph {
+            store: Store::Owned { offsets, adj },
+        };
+        debug_assert!(g.validate().is_ok(), "invalid CSR parts");
+        Ok(g)
     }
 
     /// Validate all structural invariants; used by property tests.
     pub fn validate(&self) -> Result<(), String> {
         let n = self.n();
-        if *self.offsets.last().unwrap() as usize != self.adj.len() {
+        if *self.offsets().last().unwrap() as usize != self.adj().len() {
             return Err("offsets do not cover adj".into());
         }
         for v in 0..n as NodeId {
@@ -366,18 +532,163 @@ impl GraphBuilder {
         // Rows were filled in increasing (u,v) order: row of u receives v's
         // in increasing order for v>u but interleaved with v<u entries, so a
         // per-row sort is still required.
-        {
-            let mut rows: Vec<&mut [NodeId]> = Vec::with_capacity(self.n);
-            let mut rest: &mut [NodeId] = &mut adj;
-            for v in 0..self.n {
-                let d = (offsets[v + 1] - offsets[v]) as usize;
-                let (row, tail) = rest.split_at_mut(d);
-                rows.push(row);
-                rest = tail;
-            }
-            rows.par_iter_mut().for_each(|row| row.sort_unstable());
-        }
+        sort_rows(&offsets, &mut adj);
         Graph::from_parts(offsets, adj)
+    }
+}
+
+/// Sort every CSR row of `adj` in place, in parallel over node chunks.
+///
+/// Rows are the disjoint slices `offsets[v]..offsets[v+1]`, so striping
+/// the adjacency array at node-chunk boundaries gives each pool task an
+/// exclusive span; stealing balances the skewed row lengths.
+pub(crate) fn sort_rows(offsets: &[u64], adj: &mut [NodeId]) {
+    const NODE_CHUNK: usize = 1024;
+    let n = offsets.len() - 1;
+    let workers = parcolor_exec::resolve_workers(0);
+    if workers <= 1 || adj.len() < (1 << 14) || parcolor_exec::in_pool_worker() {
+        for v in 0..n {
+            adj[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        return;
+    }
+    let pool = parcolor_exec::Executor::global();
+    let scatter = parcolor_exec::ScatterMut::new(adj);
+    let scatter = &scatter;
+    parcolor_exec::par_map_chunks(pool, workers, n, NODE_CHUNK, move |start, clen| {
+        let lo = offsets[start] as usize;
+        let hi = offsets[start + clen] as usize;
+        // SAFETY: node chunks are disjoint, hence so are their adj spans.
+        let span = unsafe { scatter.stripe_mut(lo, hi - lo) };
+        for v in start..start + clen {
+            let (s, e) = (offsets[v] as usize - lo, offsets[v + 1] as usize - lo);
+            span[s..e].sort_unstable();
+        }
+    });
+}
+
+/// Two-pass streaming CSR builder — the million-node construction path.
+///
+/// Protocol (what [`Graph::from_edge_stream`] drives):
+/// 1. feed every edge to [`StreamBuilder::count_edge`] (pass 1),
+/// 2. call [`StreamBuilder::finish_counting`] once,
+/// 3. replay the *same* edge sequence through
+///    [`StreamBuilder::scatter_edge`] (pass 2),
+/// 4. call [`StreamBuilder::finish`].
+///
+/// Unlike [`GraphBuilder`], no edge list is ever materialized: pass 1
+/// accumulates degree counts, `finish_counting` prefix-sums them into
+/// offsets and allocates the adjacency array, pass 2 scatters each edge
+/// straight into its two rows, and `finish` sorts and deduplicates rows
+/// in place.  Peak memory is the final CSR plus one `u64` cursor per
+/// node.  The result is bit-identical to queueing the same edges on a
+/// [`GraphBuilder`].
+#[derive(Clone, Debug)]
+pub struct StreamBuilder {
+    n: usize,
+    /// Pass 1: per-node degree counts.  After [`StreamBuilder::finish_counting`]:
+    /// per-node write cursors for the scatter pass.
+    cursor: Vec<u64>,
+    offsets: Vec<u64>,
+    adj: Vec<NodeId>,
+    counting: bool,
+}
+
+impl StreamBuilder {
+    /// Builder over `n` nodes, ready for the counting pass.
+    pub fn new(n: usize) -> Self {
+        StreamBuilder {
+            n,
+            cursor: vec![0; n],
+            offsets: Vec::new(),
+            adj: Vec::new(),
+            counting: true,
+        }
+    }
+
+    #[inline]
+    fn check_edge(&self, u: NodeId, v: NodeId) {
+        assert!(u != v, "self loop {u}");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range n={}",
+            self.n
+        );
+    }
+
+    /// Pass 1: count the undirected edge `{u, v}`.  Panics on self-loops
+    /// or out-of-range endpoints, like [`GraphBuilder::add_edge`].
+    #[inline]
+    pub fn count_edge(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!(self.counting, "count_edge after finish_counting");
+        self.check_edge(u, v);
+        self.cursor[u as usize] += 1;
+        self.cursor[v as usize] += 1;
+    }
+
+    /// Seal pass 1: prefix-sum the degree counts into offsets and
+    /// allocate the adjacency array for the scatter pass.
+    pub fn finish_counting(&mut self) {
+        assert!(self.counting, "finish_counting called twice");
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0u64);
+        for &d in &self.cursor {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        self.adj = vec![0 as NodeId; *offsets.last().unwrap() as usize];
+        self.cursor.copy_from_slice(&offsets[..self.n]);
+        self.offsets = offsets;
+        self.counting = false;
+    }
+
+    /// Pass 2: scatter the undirected edge `{u, v}` into both rows.
+    /// Panics if the stream emits more edges for a node than pass 1
+    /// counted — i.e. the stream was not re-runnable.
+    #[inline]
+    pub fn scatter_edge(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!(!self.counting, "scatter_edge before finish_counting");
+        self.check_edge(u, v);
+        let (ui, vi) = (u as usize, v as usize);
+        assert!(
+            self.cursor[ui] < self.offsets[ui + 1] && self.cursor[vi] < self.offsets[vi + 1],
+            "edge stream changed between passes (extra edge ({u},{v}))"
+        );
+        self.adj[self.cursor[ui] as usize] = v;
+        self.cursor[ui] += 1;
+        self.adj[self.cursor[vi] as usize] = u;
+        self.cursor[vi] += 1;
+    }
+
+    /// Finalize: sort rows in parallel, deduplicate them in place, and
+    /// wrap the compacted arrays.  Panics if pass 2 emitted fewer edges
+    /// than pass 1 (the stream was not re-runnable).
+    pub fn finish(mut self) -> Graph {
+        assert!(!self.counting, "finish before finish_counting");
+        assert!(
+            self.cursor[..] == self.offsets[1..],
+            "edge stream changed between passes (missing edges)"
+        );
+        sort_rows(&self.offsets, &mut self.adj);
+        // In-place per-row dedup compaction.  The write head `w` never
+        // overtakes the read head, and offsets are rewritten only after
+        // the original row bounds have been consumed.
+        let mut w = 0usize;
+        let mut read_lo = 0usize;
+        for v in 0..self.n {
+            let read_hi = self.offsets[v + 1] as usize;
+            let row_start = w;
+            for r in read_lo..read_hi {
+                let x = self.adj[r];
+                if w == row_start || self.adj[w - 1] != x {
+                    self.adj[w] = x;
+                    w += 1;
+                }
+            }
+            self.offsets[v + 1] = w as u64;
+            read_lo = read_hi;
+        }
+        self.adj.truncate(w);
+        Graph::from_parts(self.offsets, self.adj)
     }
 }
 

@@ -30,8 +30,12 @@ pub mod graph;
 pub mod message;
 pub mod power;
 pub mod simd;
+#[cfg(all(unix, target_endian = "little"))]
+pub mod store;
 pub mod tape;
 
 pub use engine::{LocalMetrics, RoundEngine};
-pub use graph::{Graph, GraphBuilder, NodeId};
+pub use graph::{Graph, GraphBuilder, NodeId, StreamBuilder};
+#[cfg(all(unix, target_endian = "little"))]
+pub use store::{MappedCsr, Mmap};
 pub use tape::{CryptoTape, Randomness, SplitMix};

@@ -1,0 +1,283 @@
+//! Zero-copy mmap-backed CSR storage.
+//!
+//! A [`crate::graph::Graph`] normally owns its two CSR arrays on the
+//! heap.  For million-node instances loaded from the binary `.pcg`
+//! on-disk format (see `parcolor-cli`'s `pcg` module for the container
+//! layout) the arrays can instead be **borrowed straight out of a
+//! read-only memory map**: [`MappedCsr`] pins a page-aligned [`Mmap`]
+//! and reinterprets two byte ranges of it as the `u64` offsets array and
+//! the `u32` adjacency array.  No copy, no parse — the kernel pages the
+//! graph in on demand, and several `Graph` clones share one mapping
+//! through an `Arc`.
+//!
+//! ## The `GraphStore` contract
+//!
+//! `Graph` accessors (`neighbors`, `degree`, `offsets`, `adj`, …) are
+//! storage-agnostic: every query goes through two slice getters that
+//! resolve to either the owned vectors or the mapped ranges.  The two
+//! storages must be observationally identical — the scale bench and the
+//! `.pcg` roundtrip tests assert bit-identical solver output over both.
+//!
+//! This module is only compiled on little-endian unix targets: the
+//! `.pcg` payload is little-endian, so a zero-copy reinterpretation is
+//! only correct there.  Other targets fall back to the owned-heap
+//! loading path (the codec in `parcolor-cli` handles that portably).
+//!
+//! ## Safety notes
+//!
+//! * The mapping is `PROT_READ | MAP_PRIVATE`; nothing ever writes
+//!   through it.
+//! * Alignment: `mmap` returns page-aligned memory and [`MappedCsr::new`]
+//!   checks that both array byte-offsets are aligned for their element
+//!   type, so the slice reinterpretations are sound.
+//! * Truncating or rewriting the underlying file while it is mapped is
+//!   undefined behavior at the OS level (`SIGBUS` on access).  The CLI
+//!   treats `.pcg` files as immutable artifacts; the checksum in the
+//!   header is verified at load time, which also faults every page in
+//!   once and so surfaces I/O problems eagerly rather than mid-solve.
+
+use std::fs::File;
+use std::os::unix::io::AsRawFd;
+use std::sync::Arc;
+
+mod sys {
+    use std::os::raw::{c_int, c_void};
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+}
+
+/// A read-only, page-aligned memory mapping of a whole file.
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ) for its whole lifetime,
+// so shared access from any thread is fine.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map the entire `file` read-only.
+    pub fn map_file(file: &File) -> Result<Mmap, String> {
+        let len = file
+            .metadata()
+            .map_err(|e| format!("mmap: cannot stat file: {e}"))?
+            .len();
+        if len == 0 {
+            return Err("mmap: refusing to map an empty file".into());
+        }
+        let len = usize::try_from(len).map_err(|_| "mmap: file too large for this platform")?;
+        // SAFETY: plain read-only file mapping; failure is reported via
+        // the MAP_FAILED sentinel, checked below.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err("mmap: kernel refused the mapping".into());
+        }
+        Ok(Mmap {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr/len describe a live PROT_READ mapping.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Mapped length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true: empty files are
+    /// rejected at map time).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: exactly the range returned by mmap in map_file.
+        unsafe {
+            sys::munmap(self.ptr as *mut _, self.len);
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+/// CSR arrays viewed zero-copy inside a shared [`Mmap`].
+#[derive(Clone, Debug)]
+pub struct MappedCsr {
+    map: Arc<Mmap>,
+    offsets_at: usize,
+    n_plus_1: usize,
+    adj_at: usize,
+    adj_len: usize,
+}
+
+impl MappedCsr {
+    /// View `map[offsets_at..]` as `n_plus_1` little-endian `u64`s and
+    /// `map[adj_at..]` as `adj_len` little-endian `u32`s.  Checks bounds
+    /// and alignment; the *structural* CSR invariants are checked by
+    /// [`crate::graph::Graph::from_mapped`].
+    pub fn new(
+        map: Arc<Mmap>,
+        offsets_at: usize,
+        n_plus_1: usize,
+        adj_at: usize,
+        adj_len: usize,
+    ) -> Result<MappedCsr, String> {
+        let off_bytes = n_plus_1
+            .checked_mul(8)
+            .ok_or("mapped csr: offsets length overflow")?;
+        let adj_bytes = adj_len
+            .checked_mul(4)
+            .ok_or("mapped csr: adj length overflow")?;
+        if n_plus_1 == 0 {
+            return Err("mapped csr: empty offsets array".into());
+        }
+        let off_end = offsets_at
+            .checked_add(off_bytes)
+            .ok_or("mapped csr: offsets range overflow")?;
+        let adj_end = adj_at
+            .checked_add(adj_bytes)
+            .ok_or("mapped csr: adj range overflow")?;
+        if off_end > map.len() || adj_end > map.len() {
+            return Err("mapped csr: arrays exceed the mapped file".into());
+        }
+        let base = map.as_slice().as_ptr() as usize;
+        if !(base + offsets_at).is_multiple_of(std::mem::align_of::<u64>()) {
+            return Err("mapped csr: offsets array is not 8-byte aligned".into());
+        }
+        if !(base + adj_at).is_multiple_of(std::mem::align_of::<u32>()) {
+            return Err("mapped csr: adj array is not 4-byte aligned".into());
+        }
+        Ok(MappedCsr {
+            map,
+            offsets_at,
+            n_plus_1,
+            adj_at,
+            adj_len,
+        })
+    }
+
+    /// The offsets array (`n + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        // SAFETY: bounds and 8-alignment checked in `new`; the target is
+        // little-endian (module-level cfg), so the byte reinterpretation
+        // reads the on-disk values exactly.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.as_slice().as_ptr().add(self.offsets_at) as *const u64,
+                self.n_plus_1,
+            )
+        }
+    }
+
+    /// The concatenated adjacency array.
+    #[inline]
+    pub fn adj(&self) -> &[u32] {
+        // SAFETY: bounds and 4-alignment checked in `new`; little-endian
+        // target per the module cfg.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.as_slice().as_ptr().add(self.adj_at) as *const u32,
+                self.adj_len,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp_file(bytes: &[u8]) -> (std::path::PathBuf, File) {
+        let path = std::env::temp_dir().join(format!(
+            "parcolor-store-test-{}-{}",
+            std::process::id(),
+            bytes.len()
+        ));
+        let mut f = File::create(&path).expect("create temp file");
+        f.write_all(bytes).expect("write temp file");
+        drop(f);
+        (path.clone(), File::open(&path).expect("reopen"))
+    }
+
+    #[test]
+    fn maps_and_reinterprets_le_arrays() {
+        let mut bytes = Vec::new();
+        // Two u64 offsets [0, 2] at 0, then two u32 adj [1, 0] at 16.
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let (path, f) = tmp_file(&bytes);
+        let map = Arc::new(Mmap::map_file(&f).unwrap());
+        let csr = MappedCsr::new(map, 0, 2, 16, 2).unwrap();
+        assert_eq!(csr.offsets(), &[0, 2]);
+        assert_eq!(csr.adj(), &[1, 0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_and_misaligned() {
+        let (path, f) = tmp_file(&[0u8; 64]);
+        let map = Arc::new(Mmap::map_file(&f).unwrap());
+        assert!(MappedCsr::new(map.clone(), 0, 9, 0, 0).is_err(), "past end");
+        assert!(
+            MappedCsr::new(map.clone(), 4, 2, 0, 0).is_err(),
+            "u64 misaligned"
+        );
+        assert!(
+            MappedCsr::new(map.clone(), 0, 0, 0, 0).is_err(),
+            "empty offsets"
+        );
+        assert!(
+            MappedCsr::new(map.clone(), 0, 2, 62, 2).is_err(),
+            "adj past end"
+        );
+        assert!(MappedCsr::new(map, 0, 2, 17, 1).is_err(), "u32 misaligned");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_refused() {
+        let (path, f) = tmp_file(&[]);
+        assert!(Mmap::map_file(&f).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -16,6 +16,11 @@
 //!   (associative + commutative with a neutral identity) for the result
 //!   to be deterministic.  Every fold in this workspace reduces
 //!   integer-valued counts, which qualify exactly.
+//! * **`par_sort_unstable` is parallel.**  Slices are cut into fixed
+//!   stripes sorted by stealing workers and merged in pairwise parallel
+//!   rounds ([`parcolor_exec::par_sort_unstable`]); the output is the
+//!   sorted permutation, so it is bit-identical at every worker count
+//!   with no operator caveats at all.
 //! * **Everything else is sequential in source order.**  `collect`,
 //!   `for_each`, `sum`, `max`, `all`, `find_first`, … walk the index
 //!   space `0..len` in order, so they are bit-reproducible and
@@ -625,18 +630,28 @@ impl<T> IntoParallelRefMutIterator for [T] {
 
 /// Parallel slice sorts.
 pub trait ParallelSliceMut<T> {
-    /// Unstable sort (sequential `sort_unstable` here).
+    /// Unstable sort, pool-backed: sorted stripes + pairwise parallel
+    /// merges via [`parcolor_exec::par_sort_unstable`].  The `Send +
+    /// Copy` bounds (absent in real rayon, which only needs `Ord +
+    /// Send`) let elements transit the merge scratch buffer by memcpy;
+    /// every sort key in this workspace is a small integer tuple, so the
+    /// narrowing is free here.  Output is the sorted permutation —
+    /// bit-identical at every worker count.
     fn par_sort_unstable(&mut self)
     where
-        T: Ord;
+        T: Ord + Send + Sync + Copy;
 }
 
 impl<T> ParallelSliceMut<T> for [T] {
     fn par_sort_unstable(&mut self)
     where
-        T: Ord,
+        T: Ord + Send + Sync + Copy,
     {
-        self.sort_unstable()
+        parcolor_exec::par_sort_unstable(
+            parcolor_exec::Executor::global(),
+            parcolor_exec::resolve_workers(0),
+            self,
+        )
     }
 }
 
@@ -654,6 +669,14 @@ mod tests {
         let mut w = vec![3u32, 1, 2];
         w.par_sort_unstable();
         assert_eq!(w, vec![1, 2, 3]);
+        // Large enough to take the pool-backed stripe + merge path.
+        let mut big: Vec<u32> = (0..40_000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 997)
+            .collect();
+        let mut expected = big.clone();
+        expected.sort_unstable();
+        big.par_sort_unstable();
+        assert_eq!(big, expected);
         let found = (0..100u64).into_par_iter().find_first(|&x| x > 41);
         assert_eq!(found, Some(42));
         assert!((0..50u32).into_par_iter().all(|x| x < 50));
