@@ -1,0 +1,160 @@
+//! e19: SIMD kernel microbench — per-path `splitmix4` / `lane_eq_mask8`
+//! throughput, plus an end-to-end seed search forced scalar vs the best
+//! runtime-detected path.
+//!
+//! Every kernel variant is bit-identical to the scalar reference (the
+//! dispatch contract in `parcolor_local::simd`), so the only thing that
+//! may differ between paths is wall-clock time; this binary asserts the
+//! bit-identity on the end-to-end leg and reports the speedups.  The
+//! per-kernel legs use [`parcolor_core::simd::kernels_for`] directly and
+//! never touch the process-wide selection, so they are safe to extend
+//! without worrying about dispatch state.
+//!
+//! Writes `BENCH_simd.json` (consumed by CI's portable-simd job).
+
+use parcolor_bench::{f1, f2, s, scaled, timed, Table};
+use parcolor_core::simd::{self, KernelTable, SimdPath};
+use parcolor_core::{D1lcInstance, Params, Solver};
+use parcolor_graphgen::gnm;
+use std::hint::black_box;
+
+/// Throughput of `splitmix4` in ns per 4-lane call: independent inputs
+/// per iteration (the tape fill loops hash independent counter blocks,
+/// so ILP is representative), XOR-folded so nothing is dead code.
+fn bench_splitmix4(k: &KernelTable, iters: usize) -> f64 {
+    let mut acc = [0u64; simd::SPLITMIX_LANES];
+    let (_, ms) = timed(|| {
+        for i in 0..iters as u64 {
+            let out = (k.splitmix4)([i, i ^ 0x9E37_79B9, i.wrapping_mul(3), !i]);
+            for (a, o) in acc.iter_mut().zip(out) {
+                *a ^= o;
+            }
+        }
+        black_box(acc);
+    });
+    ms * 1e6 / iters as f64
+}
+
+/// Throughput of `lane_eq_mask8` in ns per 8-lane call.
+fn bench_lane_eq(k: &KernelTable, iters: usize) -> f64 {
+    let a: [u32; 8] = std::array::from_fn(|i| i as u32);
+    let mut acc = 0u8;
+    let (_, ms) = timed(|| {
+        for i in 0..iters as u32 {
+            let b: [u32; 8] = std::array::from_fn(|l| (i.wrapping_add(l as u32)) & 7);
+            acc ^= (k.lane_eq_mask8)(&a, &b);
+        }
+        black_box(acc);
+    });
+    ms * 1e6 / iters as f64
+}
+
+/// FNV-1a over a coloring, for the end-to-end bit-identity assert.
+fn fnv(colors: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in colors {
+        for byte in c.to_le_bytes() {
+            h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn main() {
+    let available = simd::available_paths();
+    let detected = simd::detected_path();
+    let names: Vec<&str> = available.iter().map(|p| p.name()).collect();
+    println!(
+        "# e19: SIMD kernels (detected = {detected}, available = {})",
+        names.join(", ")
+    );
+
+    // --- Per-kernel throughput, every available path -------------------
+    let iters = scaled(1 << 23, 1 << 18);
+    println!("\n## Kernel throughput ({iters} calls per leg)");
+    let mut t = Table::new(&["kernel", "path", "ns/call", "speedup vs scalar"]);
+    let mut kernel_rows = Vec::new();
+    let scalar = simd::kernels_for(SimdPath::Scalar).expect("scalar is always available");
+    for (kernel, bench) in [
+        (
+            "splitmix4",
+            bench_splitmix4 as fn(&KernelTable, usize) -> f64,
+        ),
+        ("lane_eq_mask8", bench_lane_eq),
+    ] {
+        // Warm + baseline.
+        let _ = bench(scalar, iters / 8);
+        let base = bench(scalar, iters);
+        for &path in &available {
+            let k = simd::kernels_for(path).expect("available path has a table");
+            let ns = if path == SimdPath::Scalar {
+                base
+            } else {
+                bench(k, iters)
+            };
+            t.row(&[s(kernel), s(path), f2(ns), f2(base / ns.max(1e-12))]);
+            kernel_rows.push(format!(
+                "    {{\"kernel\": \"{kernel}\", \"path\": \"{path}\", \"ns_per_call\": {ns:.3}, \
+                 \"speedup_vs_scalar\": {:.2}}}",
+                base / ns.max(1e-12)
+            ));
+        }
+    }
+    t.print();
+
+    // --- End-to-end: full solve forced scalar vs every path ------------
+    let n = scaled(4_000, 256);
+    let seed_bits = scaled(10, 5) as u32;
+    let g = gnm(n, n * 4, 7);
+    let inst = D1lcInstance::delta_plus_one(g);
+    println!("\n## End-to-end solve (gnm n = {n}, seed_bits = {seed_bits})");
+    let mut t = Table::new(&["path", "ms", "speedup vs scalar", "coloring hash"]);
+    let mut e2e_rows = Vec::new();
+    let mut scalar_ms = 0.0;
+    let mut scalar_hash = 0u64;
+    for &path in &available {
+        let params = Params::default().with_seed_bits(seed_bits).with_simd(path);
+        let (sol, ms) = timed(|| Solver::deterministic(params).solve(&inst));
+        inst.verify_coloring(&sol.colors).expect("valid coloring");
+        let h = fnv(&sol.colors);
+        if path == SimdPath::Scalar {
+            scalar_ms = ms;
+            scalar_hash = h;
+        }
+        assert_eq!(
+            h, scalar_hash,
+            "{path}: coloring differs from forced-scalar run — dispatch contract violated"
+        );
+        t.row(&[
+            s(path),
+            f1(ms),
+            f2(scalar_ms / ms.max(1e-9)),
+            format!("{h:#018x}"),
+        ]);
+        e2e_rows.push(format!(
+            "    {{\"path\": \"{path}\", \"ms\": {ms:.1}, \"speedup_vs_scalar\": {:.2}, \
+             \"coloring_hash\": \"{h:#018x}\"}}",
+            scalar_ms / ms.max(1e-9)
+        ));
+    }
+    simd::reset_auto();
+    t.print();
+    println!("\nIdentical coloring hash on every path (asserted).");
+
+    // --- JSON -----------------------------------------------------------
+    let json = format!(
+        "{{\n  \"experiment\": \"e19_simd_kernels\",\n  \"simd_path\": \"{detected}\",\n  \
+         \"available\": [{}],\n  \"kernels\": [\n{}\n  ],\n  \"end_to_end\": [\n{}\n  ]\n}}\n",
+        names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        kernel_rows.join(",\n"),
+        e2e_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_simd.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_simd.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_simd.json: {e}"),
+    }
+}

@@ -3,6 +3,8 @@
 //! friendly diagnostic and exit with a meaningful status (2 for usage
 //! errors, 1 for runtime failures) and tests can assert on the messages.
 
+use parcolor_core::SimdPath;
+
 /// Validated options for `parcolor solve`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SolveOpts {
@@ -16,6 +18,10 @@ pub struct SolveOpts {
     pub seed_bits: u32,
     /// Worker threads (`--workers`, default 0 = auto).
     pub workers: usize,
+    /// Forced SIMD kernel path (`--simd`, default `None` = auto:
+    /// `PARCOLOR_SIMD` env, else runtime detection).  Bit-identical
+    /// results on every path — a throughput/testing knob.
+    pub simd: Option<SimdPath>,
 }
 
 /// Seed lengths outside this range are either degenerate or blow the
@@ -38,8 +44,10 @@ pub fn parse_solve_args<S: AsRef<str>>(args: &[S]) -> Result<SolveOpts, String> 
         randomized: None,
         seed_bits: 6,
         workers: 0,
+        simd: None,
     };
     let mut seen_seed_bits = false;
+    let mut seen_simd = false;
     let mut it = args.iter().map(AsRef::as_ref);
     while let Some(arg) = it.next() {
         let mut value_of = |flag: &str| -> Result<&str, String> {
@@ -71,6 +79,18 @@ pub fn parse_solve_args<S: AsRef<str>>(args: &[S]) -> Result<SolveOpts, String> 
             }
             "--workers" => {
                 opts.workers = parsed("--workers", value_of("--workers")?)?;
+            }
+            "--simd" => {
+                if seen_simd {
+                    return Err("--simd given twice".into());
+                }
+                seen_simd = true;
+                let v = value_of("--simd")?;
+                if !v.eq_ignore_ascii_case("auto") {
+                    opts.simd = Some(SimdPath::parse(v).ok_or(format!(
+                        "--simd expects scalar|avx2|avx512|neon|auto, got {v:?}"
+                    ))?);
+                }
             }
             flag if flag.starts_with('-') && flag.len() > 1 => {
                 return Err(format!("unknown flag {flag}"));
@@ -177,6 +197,29 @@ mod tests {
         assert!(e.contains("contradict"), "{e}");
         // --randomized alone is fine (default bits are not "given").
         assert!(parse(&["g.col", "--randomized", "7"]).is_ok());
+    }
+
+    #[test]
+    fn parses_simd_flag() {
+        assert_eq!(parse(&["g.col"]).unwrap().simd, None);
+        assert_eq!(
+            parse(&["g.col", "--simd", "scalar"]).unwrap().simd,
+            Some(SimdPath::Scalar)
+        );
+        assert_eq!(
+            parse(&["g.col", "--simd", "AVX2"]).unwrap().simd,
+            Some(SimdPath::Avx2)
+        );
+        // "auto" is accepted and means "no forcing".
+        assert_eq!(parse(&["g.col", "--simd", "Auto"]).unwrap().simd, None);
+        let e = parse(&["g.col", "--simd", "sse9"]).unwrap_err();
+        assert!(e.contains("scalar|avx2|avx512|neon|auto"), "{e}");
+        assert!(parse(&["g.col", "--simd", "avx2", "--simd", "auto"])
+            .unwrap_err()
+            .contains("twice"));
+        assert!(parse(&["g.col", "--simd"])
+            .unwrap_err()
+            .contains("requires a value"));
     }
 
     #[test]

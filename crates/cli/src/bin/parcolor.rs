@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! parcolor solve       <graph.col|.pcg> [-o coloring.txt] [--randomized <key>] [--seed-bits B]
-//!                      [--workers W]
+//!                      [--workers W] [--simd scalar|avx2|avx512|neon|auto]
 //! parcolor verify      <graph.col|.pcg> <coloring.txt>
 //! parcolor gen         <family> <n> <param> [seed] [-o graph.col|.pcg]
 //! parcolor convert     <in.col|.pcg> <out.col|.pcg>
@@ -22,6 +22,13 @@
 //! auto: `PARCOLOR_THREADS`, or the deprecated `PARCOLOR_SEED_THREADS`
 //! alias, else all hardware threads); the chosen seeds — and hence the
 //! coloring — are identical at every worker count.
+//!
+//! `--simd` forces a SIMD kernel path (default auto: the
+//! `PARCOLOR_SIMD` env var, else runtime CPU detection picks the best of
+//! scalar/AVX2/AVX-512/NEON compiled into the binary).  Every path is
+//! bit-identical — the flag exists for benchmarking and forced-path
+//! testing; the selected path is reported in the solve summary and by
+//! `parcolor stats`.
 //!
 //! `coordinator` serves the deterministic solve to a fleet: workers
 //! connect, lease seed ranges, and return grouping-invariant aggregates,
@@ -48,7 +55,7 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  parcolor solve       <graph.col|.pcg> [-o out.txt] [--randomized <key>] [--seed-bits B] [--workers W]\n  parcolor verify      <graph.col|.pcg> <coloring.txt>\n  parcolor gen         <gnm|gnp|regular|powerlaw|ring|torus> <n> <param> [seed] [-o out.col|.pcg]\n  parcolor convert     <in.col|.pcg> <out.col|.pcg>\n  parcolor stats       <graph.col|.pcg>\n  parcolor coordinator <graph.col|.pcg> --listen HOST:PORT [--min-workers K] [--seed-bits B] [--strategy S] [--workers W] [-o out.txt]\n  parcolor worker      --connect HOST:PORT [--workers W]"
+        "usage:\n  parcolor solve       <graph.col|.pcg> [-o out.txt] [--randomized <key>] [--seed-bits B] [--workers W] [--simd P]\n  parcolor verify      <graph.col|.pcg> <coloring.txt>\n  parcolor gen         <gnm|gnp|regular|powerlaw|ring|torus> <n> <param> [seed] [-o out.col|.pcg]\n  parcolor convert     <in.col|.pcg> <out.col|.pcg>\n  parcolor stats       <graph.col|.pcg>\n  parcolor coordinator <graph.col|.pcg> --listen HOST:PORT [--min-workers K] [--seed-bits B] [--strategy S] [--workers W] [-o out.txt]\n  parcolor worker      --connect HOST:PORT [--workers W]"
     );
     exit(2)
 }
@@ -90,13 +97,14 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn report_solution(inst: &parcolor_core::D1lcInstance, sol: &Solution) {
     eprintln!(
-        "solved: n={} m={} Δ={}  MPC rounds={}  LOCAL rounds={}  peak machine words={}",
+        "solved: n={} m={} Δ={}  MPC rounds={}  LOCAL rounds={}  peak machine words={}  simd={}",
         inst.n(),
         inst.graph.m(),
         inst.graph.max_degree(),
         sol.cost.mpc_rounds,
         sol.cost.local_rounds,
-        sol.cost.max_machine_words
+        sol.cost.max_machine_words,
+        parcolor_core::simd::active_path()
     );
 }
 
@@ -123,10 +131,19 @@ fn cmd_solve(args: &[String]) {
         exit(1)
     });
     let inst = instance_of(g);
-    let params = Params::default()
+    let mut params = Params::default()
         .with_seed_bits(opts.seed_bits)
         .with_strategy(SeedStrategy::FixedSubset(16))
         .with_workers(opts.workers);
+    if let Some(path) = opts.simd {
+        // Validate here for a friendly diagnostic; the solver would
+        // otherwise panic on an unavailable path.
+        if let Err(e) = parcolor_core::simd::force_path(path) {
+            eprintln!("parcolor solve: {e}");
+            exit(1);
+        }
+        params = params.with_simd(path);
+    }
     let sol = match opts.randomized {
         Some(key) => Solver::randomized(params, key).solve(&inst),
         None => Solver::deterministic(params).solve(&inst),
@@ -378,4 +395,13 @@ fn cmd_stats(args: &[String]) {
         .max()
         .unwrap_or(0);
     println!("largest cc = {biggest}");
+    let available: Vec<&str> = parcolor_core::simd::available_paths()
+        .iter()
+        .map(|p| p.name())
+        .collect();
+    println!(
+        "simd path  = {} (available: {})",
+        parcolor_core::simd::active_path(),
+        available.join(", ")
+    );
 }

@@ -15,7 +15,6 @@
 use crate::framework::{NormalProcedure, Outcome, PickPlane, SimScratch};
 use crate::instance::ColoringState;
 use parcolor_local::graph::{Graph, NodeId};
-use parcolor_local::simd::lane_eq_mask8;
 use parcolor_local::tape::Randomness;
 use parcolor_prg::SEED_BLOCK;
 use rayon::prelude::*;
@@ -803,8 +802,9 @@ impl NormalProcedure for TryRandomColor<'_> {
         }
         let soa = &plane.soa;
         let mask = &mut plane.lane_mask;
+        let lane_eq = parcolor_local::simd::kernels().lane_eq_mask8;
         for &(a, b) in self.active_edges() {
-            let eq = lane_eq_mask8(&soa[a as usize], &soa[b as usize]);
+            let eq = lane_eq(&soa[a as usize], &soa[b as usize]);
             mask[a as usize] |= eq;
             mask[b as usize] |= eq;
         }
@@ -1369,12 +1369,13 @@ impl NormalProcedure for GenerateSlack<'_> {
             let soa = &plane.soa;
             let valid = &plane.valid_mask;
             let mask = &mut plane.lane_mask;
+            let lane_eq = parcolor_local::simd::kernels().lane_eq_mask8;
             for &(a, b) in self.active_edges() {
                 let both = valid[a as usize] & valid[b as usize];
                 if both == 0 {
                     continue;
                 }
-                let eq = lane_eq_mask8(&soa[a as usize], &soa[b as usize]) & both;
+                let eq = lane_eq(&soa[a as usize], &soa[b as usize]) & both;
                 mask[a as usize] |= eq;
                 mask[b as usize] |= eq;
             }
@@ -1496,11 +1497,18 @@ impl NormalProcedure for SynchColorTrial<'_> {
                 if pal.is_empty() {
                     return Vec::new();
                 }
-                // Leader permutes its palette with its own randomness.
+                // Leader permutes its palette with its own randomness:
+                // the Fisher-Yates words (idx 1..|pal|) arrive as one
+                // dispatched `fill_words_seq` stripe fetch — only the
+                // data-dependent swaps stay sequential.  `below(v, s, i,
+                // i+1)` is the Lemire reduction of `word(v, s, i)`, so
+                // this is bit-identical to per-draw scalar calls.
                 let mut perm: Vec<u32> = pal.to_vec();
                 let stream = S_PERM ^ (self.round_tag << 8);
+                let mut words = vec![0u64; perm.len().saturating_sub(1)];
+                rng.fill_words_seq(ct.leader, stream, 1, &mut words);
                 for i in (1..perm.len()).rev() {
-                    let j = rng.below(ct.leader, stream, i as u32, (i + 1) as u64) as usize;
+                    let j = ((words[i - 1] as u128 * (i as u128 + 1)) >> 64) as usize;
                     perm.swap(i, j);
                 }
                 ct.inliers
@@ -1662,12 +1670,13 @@ impl NormalProcedure for SynchColorTrial<'_> {
             let soa = &plane.soa;
             let valid = &plane.valid_mask;
             let mask = &mut plane.lane_mask;
+            let lane_eq = parcolor_local::simd::kernels().lane_eq_mask8;
             for &(a, b) in prop_edges {
                 let both = valid[a as usize] & valid[b as usize];
                 if both == 0 {
                     continue;
                 }
-                let eq = lane_eq_mask8(&soa[a as usize], &soa[b as usize]) & both;
+                let eq = lane_eq(&soa[a as usize], &soa[b as usize]) & both;
                 mask[a as usize] |= eq;
                 mask[b as usize] |= eq;
             }

@@ -192,21 +192,23 @@ impl Randomness for CryptoTape {
     /// [`mix4`] over lanes: the key round is hoisted once per stripe and
     /// the stream/idx products are loop invariants, leaving three
     /// straight-line splitmix rounds per lane — mixed four lanes at a time
-    /// by the explicit [`crate::simd::splitmix4`] kernel (AVX2 when the
-    /// build targets it, the identical scalar rounds otherwise).
+    /// by the runtime-dispatched [`crate::simd`] kernel table (AVX2 /
+    /// AVX-512 / NEON when the CPU has them, the identical scalar rounds
+    /// otherwise), hoisted once per stripe.
     fn fill_words(&self, stream: u64, nodes: &[u32], idx: u32, out: &mut [u64]) {
         debug_assert_eq!(nodes.len(), out.len());
+        let k = crate::simd::kernels();
         let a = splitmix64(self.key ^ 0xA076_1D64_78BD_642F);
         let sm = stream.wrapping_mul(0x8EBC_6AF0_9C88_C6E3);
         let im = (idx as u64).wrapping_mul(0x5897_89E6_C7C0_A791);
         let mut node_it = nodes.chunks_exact(crate::simd::SPLITMIX_LANES);
         let mut out_it = out.chunks_exact_mut(crate::simd::SPLITMIX_LANES);
         for (nch, och) in (&mut node_it).zip(&mut out_it) {
-            let b = crate::simd::splitmix4(std::array::from_fn(|l| {
+            let b = (k.splitmix4)(std::array::from_fn(|l| {
                 a ^ (nch[l] as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB)
             }));
-            let c = crate::simd::splitmix4(std::array::from_fn(|l| b[l] ^ sm));
-            let w = crate::simd::splitmix4(std::array::from_fn(|l| c[l] ^ im));
+            let c = (k.splitmix4)(std::array::from_fn(|l| b[l] ^ sm));
+            let w = (k.splitmix4)(std::array::from_fn(|l| c[l] ^ im));
             och.copy_from_slice(&w);
         }
         for (&v, o) in node_it.remainder().iter().zip(out_it.into_remainder()) {
@@ -217,16 +219,17 @@ impl Randomness for CryptoTape {
     }
 
     /// [`mix4`] along one node's tape: key, node and stream rounds hoisted
-    /// once, one splitmix round per output word (four words per
-    /// [`crate::simd::splitmix4`] call).
+    /// once, one splitmix round per output word (four words per dispatched
+    /// [`crate::simd`] kernel call).
     fn fill_words_seq(&self, node: u32, stream: u64, idx0: u32, out: &mut [u64]) {
+        let k = crate::simd::kernels();
         let a = splitmix64(self.key ^ 0xA076_1D64_78BD_642F);
         let b = splitmix64(a ^ (node as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
         let c = splitmix64(b ^ stream.wrapping_mul(0x8EBC_6AF0_9C88_C6E3));
         let mut out_it = out.chunks_exact_mut(crate::simd::SPLITMIX_LANES);
         let mut i = 0u32;
         for och in &mut out_it {
-            let w = crate::simd::splitmix4(std::array::from_fn(|l| {
+            let w = (k.splitmix4)(std::array::from_fn(|l| {
                 let idx = idx0.wrapping_add(i).wrapping_add(l as u32);
                 c ^ (idx as u64).wrapping_mul(0x5897_89E6_C7C0_A791)
             }));

@@ -112,9 +112,10 @@ proptest! {
         }
     }
 
-    // The explicit SIMD kernels (AVX2 when compiled in, scalar fallback
-    // otherwise) must be bit-identical to the scalar mixer/compare they
-    // replace — the compile-time selection is invisible to callers.
+    // The dispatched SIMD kernels (whichever path runtime detection or
+    // `PARCOLOR_SIMD` selected) must be bit-identical to the scalar
+    // mixer/compare they replace — the selection is invisible to callers.
+    // Per-path coverage lives in tests/simd_dispatch_equivalence.rs.
     #[test]
     fn simd_kernels_match_scalar(
         zs in proptest::collection::vec(any::<u64>(), SPLITMIX_LANES),

@@ -1,0 +1,205 @@
+//! Forced-path equivalence suite for the runtime SIMD dispatch layer.
+//!
+//! The dispatch contract (`parcolor_local::simd`) promises that every
+//! kernel variant — scalar, AVX2, AVX-512, NEON — produces bytes
+//! identical to the scalar reference, so the runtime selection can never
+//! change a coloring, a chosen seed, or a golden hash.  This suite pins
+//! that promise on every path the host can actually run:
+//!
+//! 1. property tests comparing each available path's kernel table to the
+//!    scalar reference (via [`simd::kernels_for`] — no global state);
+//! 2. the `CryptoTape` / `PrgTape` fill paths under *forced* dispatch,
+//!    word-for-word against the forced-scalar run;
+//! 3. a whole-solver leg: the `gnm_small` golden hash must come out
+//!    identical under every forced path (and equal to the pinned value
+//!    in tests/golden.rs);
+//! 4. a detection sanity check: an AVX2-capable host must not silently
+//!    auto-select scalar.
+//!
+//! Tests that mutate the process-wide selection (`force_path` /
+//! `reset_auto`) serialize on [`DISPATCH_LOCK`]; the kernels themselves
+//! are bit-identical, so concurrent *use* from other tests is harmless —
+//! only tests that *assert on the active path* need the lock.
+
+use parcolor_core::{Params, Solver};
+use parcolor_graphgen as gen;
+use parcolor_local::simd::{self, SimdPath, SPLITMIX_LANES};
+use parcolor_local::tape::{splitmix64, CryptoTape, Randomness};
+use parcolor_prg::{ChunkAssignment, Prg, PrgTape};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes every test that touches the process-wide path selection.
+static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
+
+/// Lock that survives a poisoned mutex (a failed test elsewhere must not
+/// cascade into spurious lock panics here).
+fn dispatch_guard() -> std::sync::MutexGuard<'static, ()> {
+    DISPATCH_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores auto-detection even when the test body panics.
+struct ResetOnDrop;
+impl Drop for ResetOnDrop {
+    fn drop(&mut self) {
+        simd::reset_auto();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Leg 1: every available path's kernel table, compared lane-for-lane
+    // against the scalar reference.  `kernels_for` reads no global state,
+    // so this needs no lock and exercises AVX2/AVX-512 even when the
+    // process-wide selection is pinned elsewhere (e.g. PARCOLOR_SIMD).
+    #[test]
+    fn every_available_path_matches_scalar_kernels(
+        zs in proptest::collection::vec(any::<u64>(), SPLITMIX_LANES),
+        a in proptest::collection::vec(any::<u32>(), 8),
+        b in proptest::collection::vec(any::<u32>(), 8),
+        flip in 0usize..8,
+    ) {
+        let z: [u64; SPLITMIX_LANES] = std::array::from_fn(|i| zs[i]);
+        let want: [u64; SPLITMIX_LANES] = std::array::from_fn(|i| splitmix64(z[i]));
+        let row_a: [u32; 8] = std::array::from_fn(|i| a[i]);
+        let mut row_b: [u32; 8] = std::array::from_fn(|i| b[i]);
+        // Guarantee at least one equal and one unequal lane.
+        row_b[flip] = row_a[flip];
+        row_b[(flip + 1) % 8] = row_a[(flip + 1) % 8].wrapping_add(1);
+        let mut want_eq = 0u8;
+        for l in 0..8 {
+            want_eq |= u8::from(row_a[l] == row_b[l]) << l;
+        }
+        for path in simd::available_paths() {
+            let k = simd::kernels_for(path).expect("available path has a kernel table");
+            prop_assert_eq!(k.path, path);
+            prop_assert_eq!((k.splitmix4)(z), want, "splitmix4 diverged on {}", path);
+            prop_assert_eq!(
+                (k.lane_eq_mask8)(&row_a, &row_b),
+                want_eq,
+                "lane_eq_mask8 diverged on {}",
+                path
+            );
+        }
+    }
+}
+
+// Leg 2: the tape fill paths route through the dispatched kernels; under
+// each forced path they must reproduce the forced-scalar stream
+// word-for-word, at lane-boundary stripe lengths.
+#[test]
+fn forced_fill_paths_match_forced_scalar() {
+    let _g = dispatch_guard();
+    let _reset = ResetOnDrop;
+    let nodes: Vec<u32> = (0..37).map(|i| i * 7 % 41).collect();
+    let lens = [0usize, 1, 3, 4, 5, 8, 9, 31, 37];
+    let prg = Prg::new(12);
+    let chunks = ChunkAssignment::PerNode;
+    for (key, stream, idx) in [
+        (1u64, 2u64, 3u32),
+        (0xDEAD_BEEF, 0, 0),
+        (7, u64::MAX, 9_999),
+    ] {
+        // Reference: forced scalar.
+        simd::force_path(SimdPath::Scalar).unwrap();
+        let mut want_crypto: Vec<Vec<u64>> = Vec::new();
+        let mut want_seq: Vec<Vec<u64>> = Vec::new();
+        let mut want_prg: Vec<Vec<u64>> = Vec::new();
+        for &len in &lens {
+            let tape = CryptoTape::new(key);
+            let mut w = vec![0u64; len];
+            tape.fill_words(stream, &nodes[..len], idx, &mut w);
+            want_crypto.push(w);
+            let mut q = vec![0u64; len];
+            tape.fill_words_seq(nodes.first().copied().unwrap_or(0), stream, idx, &mut q);
+            want_seq.push(q);
+            let ptape = PrgTape::new(prg, key % 4096, &chunks);
+            let mut p = vec![0u64; len];
+            ptape.fill_words(stream, &nodes[..len], idx, &mut p);
+            want_prg.push(p);
+        }
+        for path in simd::available_paths() {
+            simd::force_path(path).unwrap();
+            assert_eq!(simd::active_path(), path);
+            for (j, &len) in lens.iter().enumerate() {
+                let tape = CryptoTape::new(key);
+                let mut w = vec![0u64; len];
+                tape.fill_words(stream, &nodes[..len], idx, &mut w);
+                assert_eq!(
+                    w, want_crypto[j],
+                    "CryptoTape::fill_words on {path} len {len}"
+                );
+                let mut q = vec![0u64; len];
+                tape.fill_words_seq(nodes.first().copied().unwrap_or(0), stream, idx, &mut q);
+                assert_eq!(
+                    q, want_seq[j],
+                    "CryptoTape::fill_words_seq on {path} len {len}"
+                );
+                let ptape = PrgTape::new(prg, key % 4096, &chunks);
+                let mut p = vec![0u64; len];
+                ptape.fill_words(stream, &nodes[..len], idx, &mut p);
+                assert_eq!(p, want_prg[j], "PrgTape::fill_words on {path} len {len}");
+            }
+        }
+    }
+}
+
+// Leg 3: whole-solver bit-identity.  The gnm_small golden hash is pinned
+// in tests/golden.rs; here it must come out identical under every forced
+// path, which also re-pins it against the same constant so a drift that
+// somehow tracked the detected path would still be caught.
+#[test]
+fn golden_hash_identical_under_every_forced_path() {
+    const GNM_SMALL_GOLDEN: u64 = 0x304417442566199d;
+    fn fnv(colors: &[u32]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &c in colors {
+            h ^= c as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+    let _g = dispatch_guard();
+    let _reset = ResetOnDrop;
+    let inst = gen::degree_plus_one(gen::gnm(500, 2_000, 1));
+    for path in simd::available_paths() {
+        let params = Params::default().with_seed_bits(5).with_simd(path);
+        let sol = Solver::deterministic(params).solve(&inst);
+        inst.verify_coloring(&sol.colors).unwrap();
+        assert_eq!(
+            fnv(&sol.colors),
+            GNM_SMALL_GOLDEN,
+            "{path}: coloring diverged from the pinned golden hash"
+        );
+    }
+}
+
+// Leg 4: a host whose CPU reports AVX2 (or better) must not auto-detect
+// scalar — the whole point of runtime dispatch is that a portable build
+// still runs the vector kernels.  `detected_path` is pure CPU probing
+// (no env, no forcing), so this is safe under a PARCOLOR_SIMD matrix.
+#[test]
+fn capable_host_does_not_detect_scalar() {
+    if simd::is_available(SimdPath::Avx2) || simd::is_available(SimdPath::Neon) {
+        assert_ne!(
+            simd::detected_path(),
+            SimdPath::Scalar,
+            "vector units available but detection picked scalar"
+        );
+    }
+    // And forcing an unavailable path must fail loudly, not fall back.
+    for path in [SimdPath::Avx2, SimdPath::Avx512, SimdPath::Neon] {
+        if !simd::is_available(path) {
+            let _g = dispatch_guard();
+            let before = simd::active_path();
+            let err = simd::force_path(path).unwrap_err();
+            assert!(err.contains("not available"), "{err}");
+            assert_eq!(
+                simd::active_path(),
+                before,
+                "failed force must not change the path"
+            );
+        }
+    }
+}
