@@ -10,7 +10,10 @@
 
 use parcolor_bench::{f1, s, scaled, timed, Table};
 use parcolor_core::{D1lcInstance, Params, SeedStrategy, Solver};
-use parcolor_dist::{solve_on_cluster, ChaosConfig, DistConfig, DistStats};
+use parcolor_dist::{
+    solve_on_cluster, solve_on_failover_cluster, ChaosConfig, DistConfig, DistStats,
+    FailoverSchedule, KillSpec,
+};
 use parcolor_graphgen as gen;
 
 fn decode(job: &[u8]) -> (D1lcInstance, Params) {
@@ -47,6 +50,10 @@ struct Row {
     variant: &'static str,
     ms: f64,
     stats: DistStats,
+    /// Failover scenario only: did the standby promote, and how many
+    /// units did it tail off the primary's replication stream.
+    promoted: bool,
+    replicated_units: u64,
 }
 
 fn main() {
@@ -80,6 +87,8 @@ fn main() {
         variant: "local",
         ms: local_ms,
         stats: DistStats::default(),
+        promoted: false,
+        replicated_units: 0,
     }];
     for (variant, nworkers, chaos) in variants {
         let (out, ms) = timed(|| solve_on_cluster(&job, decode, nworkers, &chaos, cfg(nworkers)));
@@ -96,6 +105,44 @@ fn main() {
             variant,
             ms,
             stats: out.stats,
+            promoted: false,
+            replicated_units: 0,
+        });
+    }
+
+    // Failover scenario: kill the primary mid-fold, the standby tails
+    // the replication stream, promotes, and finishes — bit-identically.
+    {
+        let (out, ms) = timed(|| {
+            solve_on_failover_cluster(
+                &job,
+                decode,
+                2,
+                FailoverSchedule {
+                    primary_kill: Some(KillSpec::after_units(6)),
+                    standby_kill: None,
+                },
+                cfg(2),
+            )
+        });
+        assert!(out.primary_killed, "failover: kill switch must fire");
+        assert!(out.standby_stats.promoted, "failover: standby must promote");
+        let standby = out.standby.as_ref().expect("failover: standby finished");
+        assert_eq!(
+            standby.colors, expected,
+            "failover: standby coloring diverged"
+        );
+        for (i, w) in out.workers.iter().enumerate() {
+            if let Some(w) = w {
+                assert_eq!(w.colors, expected, "failover: worker {i} replica diverged");
+            }
+        }
+        rows.push(Row {
+            variant: "failover_kill_mid_fold",
+            ms,
+            stats: out.standby_coord_stats,
+            promoted: true,
+            replicated_units: out.standby_stats.replicated_units,
         });
     }
 
@@ -107,6 +154,7 @@ fn main() {
         "reissued",
         "expired",
         "duplicates",
+        "replayed",
         "evictions",
     ]);
     for r in &rows {
@@ -118,6 +166,7 @@ fn main() {
             s(r.stats.reissued),
             s(r.stats.expired),
             s(r.stats.duplicates),
+            s(r.stats.replayed_units),
             s(r.stats.evictions),
         ]);
     }
@@ -130,7 +179,9 @@ fn main() {
             format!(
                 "    {{\"variant\": \"{}\", \"ms\": {:.1}, \"remote_units\": {}, \
                  \"local_units\": {}, \"granted\": {}, \"reissued\": {}, \"expired\": {}, \
-                 \"orphaned\": {}, \"duplicates\": {}, \"evictions\": {}, \"disconnects\": {}}}",
+                 \"orphaned\": {}, \"duplicates\": {}, \"fenced\": {}, \"replayed\": {}, \
+                 \"evictions\": {}, \"disconnects\": {}, \"promoted\": {}, \
+                 \"replicated_units\": {}}}",
                 r.variant,
                 r.ms,
                 r.stats.remote_units,
@@ -140,8 +191,12 @@ fn main() {
                 r.stats.expired,
                 r.stats.orphaned,
                 r.stats.duplicates,
+                r.stats.fenced,
+                r.stats.replayed_units,
                 r.stats.evictions,
-                r.stats.disconnects
+                r.stats.disconnects,
+                r.promoted,
+                r.replicated_units
             )
         })
         .collect();

@@ -8,8 +8,11 @@
 //! parcolor convert     <in.col|.pcg> <out.col|.pcg>
 //! parcolor stats       <graph.col|.pcg>
 //! parcolor coordinator <graph.col|.pcg> --listen HOST:PORT [--min-workers K] [--seed-bits B]
-//!                      [--strategy ex|bw|fs:K|ss:S] [--workers W] [-o coloring.txt]
-//! parcolor worker      --connect HOST:PORT [--workers W]
+//!                      [--strategy ex|bw|fs:K|ss:S] [--workers W] [--blocks-per-lease N]
+//!                      [--local-patience-ms T] [--lease-timeout-ms T]
+//!                      [--heartbeat-timeout-ms T] [-o coloring.txt]
+//! parcolor coordinator --listen HOST:PORT --standby PRIMARY:PORT [-o coloring.txt]
+//! parcolor worker      --connect HOST:PORT[,HOST:PORT] [--workers W]
 //! ```
 //!
 //! Every graph argument accepts either text DIMACS or the binary `.pcg`
@@ -34,20 +37,25 @@
 //! connect, lease seed ranges, and return grouping-invariant aggregates,
 //! so the coloring is bit-identical to `parcolor solve` on one machine —
 //! with any number of workers, including zero (the coordinator degrades
-//! to the local search if the fleet dies).  See the `parcolor-dist`
-//! crate docs for the protocol and the lease-lifecycle contract.
+//! to the local search if the fleet dies).  With `--standby PRIMARY`
+//! the process runs as a hot standby instead: it tails the primary's
+//! replication stream and, if the primary dies or hands over, promotes
+//! itself and finishes the solve bit-identically — workers given both
+//! addresses (`--connect primary,standby`) re-home automatically.  See
+//! the `parcolor-dist` crate docs for the protocol, the epoch-fencing
+//! rules, and the lease-lifecycle contract.
 //!
 //! Families for `gen`: `gnm` (param = m), `gnp` (param = p·1000),
 //! `regular` (param = d), `powerlaw` (param = avg-degree), `ring`,
 //! `torus` (param = side).
 
-use parcolor_cli::args::parse_solve_args;
-use parcolor_cli::job::{decode_job, encode_job, parse_strategy};
+use parcolor_cli::args::{parse_coordinator_args, parse_solve_args, parse_worker_args};
+use parcolor_cli::job::{decode_job, encode_job};
 use parcolor_cli::pcg::write_pcg;
 use parcolor_cli::{instance_of, load_graph, parse_coloring, write_coloring, write_dimacs};
 use parcolor_core::Graph;
 use parcolor_core::{Params, SeedStrategy, Solution, Solver};
-use parcolor_dist::{run_worker, DistConfig, DistCoordinator};
+use parcolor_dist::{run_standby, run_worker, DistConfig, DistCoordinator};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::exit;
@@ -55,7 +63,7 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  parcolor solve       <graph.col|.pcg> [-o out.txt] [--randomized <key>] [--seed-bits B] [--workers W] [--simd P]\n  parcolor verify      <graph.col|.pcg> <coloring.txt>\n  parcolor gen         <gnm|gnp|regular|powerlaw|ring|torus> <n> <param> [seed] [-o out.col|.pcg]\n  parcolor convert     <in.col|.pcg> <out.col|.pcg>\n  parcolor stats       <graph.col|.pcg>\n  parcolor coordinator <graph.col|.pcg> --listen HOST:PORT [--min-workers K] [--seed-bits B] [--strategy S] [--workers W] [-o out.txt]\n  parcolor worker      --connect HOST:PORT [--workers W]"
+        "usage:\n  parcolor solve       <graph.col|.pcg> [-o out.txt] [--randomized <key>] [--seed-bits B] [--workers W] [--simd P]\n  parcolor verify      <graph.col|.pcg> <coloring.txt>\n  parcolor gen         <gnm|gnp|regular|powerlaw|ring|torus> <n> <param> [seed] [-o out.col|.pcg]\n  parcolor convert     <in.col|.pcg> <out.col|.pcg>\n  parcolor stats       <graph.col|.pcg>\n  parcolor coordinator <graph.col|.pcg> --listen HOST:PORT [--min-workers K] [--seed-bits B] [--strategy S] [--workers W] [--blocks-per-lease N] [--local-patience-ms T] [--lease-timeout-ms T] [--heartbeat-timeout-ms T] [-o out.txt]\n  parcolor coordinator --listen HOST:PORT --standby PRIMARY:PORT [-o out.txt]\n  parcolor worker      --connect HOST:PORT[,HOST:PORT] [--workers W]"
     );
     exit(2)
 }
@@ -154,62 +162,9 @@ fn cmd_solve(args: &[String]) {
     emit_coloring(opts.out.as_deref(), &sol.colors);
 }
 
-fn cmd_coordinator(args: &[String]) {
-    let sub = "coordinator";
-    let input = args
-        .iter()
-        .find(|a| !a.starts_with('-') && is_positional(args, a))
-        .unwrap_or_else(|| die_usage(sub, "missing input graph (expected a .col path)"));
-    let listen = flag_value(args, "--listen")
-        .unwrap_or_else(|| die_usage(sub, "--listen HOST:PORT is required"));
-    let min_workers: usize = parse_flag_or(args, "--min-workers", 0, sub);
-    let seed_bits: u32 = parse_flag_or(args, "--seed-bits", 6, sub);
-    let workers: usize = parse_flag_or(args, "--workers", 0, sub);
-    if !parcolor_cli::args::SEED_BITS_RANGE.contains(&seed_bits) {
-        die_usage(
-            sub,
-            &format!("--seed-bits must be in 1..=24, got {seed_bits}"),
-        );
-    }
-    let strategy = match flag_value(args, "--strategy") {
-        Some(tok) => parse_strategy(tok).unwrap_or_else(|e| die_usage(sub, &e)),
-        None => SeedStrategy::FixedSubset(16),
-    };
-
-    let g = load_graph(input).unwrap_or_else(|e| {
-        eprintln!("parse error: {e}");
-        exit(1)
-    });
-    let job = encode_job(&g, seed_bits, strategy);
-    // Decode our own encoding: coordinator and workers build (instance,
-    // params) through the exact same path, so the replicas cannot
-    // disagree on a default the job header doesn't carry.
-    let (inst, params) = decode_job(&job).expect("internal: job codec roundtrip");
-    let params = params.with_workers(workers);
-
-    let cfg = DistConfig {
-        min_workers,
-        ..DistConfig::default()
-    };
-    let coordinator = Arc::new(DistCoordinator::bind(listen, job, cfg).unwrap_or_else(|e| {
-        eprintln!("cannot listen on {listen}: {e}");
-        exit(1)
-    }));
+fn print_cluster_stats(stats: &parcolor_dist::DistStats) {
     eprintln!(
-        "coordinator listening on {} (waiting for {} worker(s))",
-        coordinator.local_addr(),
-        min_workers
-    );
-    let sol = Solver::deterministic(params)
-        .with_seed_searcher(coordinator.clone())
-        .solve(&inst);
-    inst.verify_coloring(&sol.colors)
-        .expect("internal: invalid");
-    let stats = coordinator.stats();
-    coordinator.shutdown();
-    report_solution(&inst, &sol);
-    eprintln!(
-        "cluster: searches={} folds={} remote_units={} local_units={} granted={} reissued={} expired={} orphaned={} duplicates={} evictions={} disconnects={}",
+        "cluster: searches={} folds={} remote_units={} local_units={} granted={} reissued={} expired={} orphaned={} duplicates={} fenced={} replayed={} evictions={} disconnects={}",
         stats.searches,
         stats.folds,
         stats.remote_units,
@@ -219,38 +174,100 @@ fn cmd_coordinator(args: &[String]) {
         stats.expired,
         stats.orphaned,
         stats.duplicates,
+        stats.fenced,
+        stats.replayed_units,
         stats.evictions,
         stats.disconnects
     );
-    emit_coloring(flag_value(args, "-o"), &sol.colors);
 }
 
-/// Is `arg` a positional (i.e. not the value of the flag preceding it)?
-fn is_positional(args: &[String], arg: &String) -> bool {
-    let i = args
-        .iter()
-        .position(|a| std::ptr::eq(a, arg))
-        .unwrap_or(usize::MAX);
-    i == 0 || !args[i - 1].starts_with('-')
-}
-
-/// Parse `flag`'s value or exit 2 with a friendly message.
-fn parse_flag_or<T: std::str::FromStr>(args: &[String], flag: &str, default: T, sub: &str) -> T {
-    match flag_value(args, flag) {
-        None => default,
-        Some(v) => v
-            .parse()
-            .unwrap_or_else(|_| die_usage(sub, &format!("{flag} expects a number, got {v:?}"))),
+fn cmd_coordinator(args: &[String]) {
+    let opts = parse_coordinator_args(args).unwrap_or_else(|e| die_usage("coordinator", &e));
+    if let Some(primary) = &opts.standby_of {
+        return cmd_standby(&opts, primary);
     }
+
+    let input = opts.input.as_deref().expect("validated primary input");
+    let g = load_graph(input).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        exit(1)
+    });
+    let job = encode_job(&g, opts.seed_bits, opts.strategy);
+    // Decode our own encoding: coordinator and workers build (instance,
+    // params) through the exact same path, so the replicas cannot
+    // disagree on a default the job header doesn't carry.
+    let (inst, params) = decode_job(&job).expect("internal: job codec roundtrip");
+    let params = params.with_workers(opts.workers);
+
+    let coordinator = Arc::new(
+        DistCoordinator::bind(&opts.listen, job, opts.cfg.clone()).unwrap_or_else(|e| {
+            eprintln!("cannot listen on {}: {e}", opts.listen);
+            exit(1)
+        }),
+    );
+    eprintln!(
+        "coordinator listening on {} (waiting for {} worker(s))",
+        coordinator.local_addr(),
+        opts.cfg.min_workers
+    );
+    let sol = Solver::deterministic(params)
+        .with_seed_searcher(coordinator.clone())
+        .solve(&inst);
+    inst.verify_coloring(&sol.colors)
+        .expect("internal: invalid");
+    let stats = coordinator.stats();
+    let had_standby = coordinator.connected_standbys() > 0;
+    if had_standby {
+        // Orderly handover before the Bye broadcast, so an attached
+        // standby exits promptly instead of waiting out its reconnect
+        // budget.  (It solves the same job and exits — useful when the
+        // standby is the one writing the output.)
+        coordinator.handover();
+    }
+    coordinator.shutdown();
+    report_solution(&inst, &sol);
+    print_cluster_stats(&stats);
+    emit_coloring(opts.out.as_deref(), &sol.colors);
+}
+
+/// `parcolor coordinator --standby PRIMARY`: tail the primary's
+/// replication stream and finish the job if it dies (or hands over).
+fn cmd_standby(opts: &parcolor_cli::args::CoordinatorOpts, primary: &str) {
+    eprintln!("standby listening on {}, tailing {primary}", opts.listen);
+    let workers = opts.workers;
+    let outcome = run_standby(&opts.listen, primary, opts.cfg.clone(), |job, searcher| {
+        let (inst, params) = decode_job(job).unwrap_or_else(|e| {
+            eprintln!("primary sent an undecodable job: {e}");
+            exit(1)
+        });
+        let sol = Solver::deterministic(params.with_workers(workers))
+            .with_seed_searcher(searcher.clone())
+            .solve(&inst);
+        inst.verify_coloring(&sol.colors)
+            .expect("internal: standby replica produced an invalid coloring");
+        (inst, sol)
+    });
+    let ((inst, sol), standby) = outcome.unwrap_or_else(|e| {
+        eprintln!("cannot start standby (primary {primary}): {e}");
+        exit(1)
+    });
+    let st = standby.stats();
+    report_solution(&inst, &sol);
+    eprintln!(
+        "standby: promoted={} promote_epoch={} tailed_selections={} replicated_units={} reconnects={}",
+        st.promoted, st.promote_epoch, st.tailed_selections, st.replicated_units, st.reconnects
+    );
+    if st.promoted {
+        print_cluster_stats(&standby.coordinator_stats());
+    }
+    emit_coloring(opts.out.as_deref(), &sol.colors);
 }
 
 fn cmd_worker(args: &[String]) {
-    let sub = "worker";
-    let addr = flag_value(args, "--connect")
-        .unwrap_or_else(|| die_usage(sub, "--connect HOST:PORT is required"));
-    let workers: usize = parse_flag_or(args, "--workers", 0, sub);
-    eprintln!("worker connecting to {addr}");
-    let outcome = run_worker(addr, DistConfig::default(), |job, searcher| {
+    let opts = parse_worker_args(args).unwrap_or_else(|e| die_usage("worker", &e));
+    let workers = opts.workers;
+    eprintln!("worker connecting to {}", opts.connect.join(", "));
+    let outcome = run_worker(&opts.connect, DistConfig::default(), |job, searcher| {
         let (inst, params) = decode_job(job).unwrap_or_else(|e| {
             eprintln!("coordinator sent an undecodable job: {e}");
             exit(1)
@@ -262,9 +279,10 @@ fn cmd_worker(args: &[String]) {
             .expect("internal: replica produced an invalid coloring");
         let stats = searcher.stats();
         eprintln!(
-            "worker replica done: n={} served_units={} reconnects={} adopted={} standalone={}",
+            "worker replica done: n={} served_units={} result_frames={} reconnects={} adopted={} standalone={}",
             inst.n(),
             stats.served_units,
+            stats.result_frames,
             stats.reconnects,
             stats.adopted,
             searcher.is_standalone()
@@ -272,7 +290,7 @@ fn cmd_worker(args: &[String]) {
         searcher.finish();
     });
     if let Err(e) = outcome {
-        eprintln!("cannot join cluster at {addr}: {e}");
+        eprintln!("cannot join cluster at {}: {e}", opts.connect.join(", "));
         exit(1);
     }
 }

@@ -49,6 +49,121 @@ impl SplitMix64 {
     }
 }
 
+/// When to kill a coordinator, in deterministic progress units rather
+/// than wall clock — the same spec fires at the same logical point in
+/// every run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KillSpec {
+    /// Fire after this many completed units (remote merges + local
+    /// fallbacks + pure-local units), counted across the whole solve.
+    /// Mid-fold kills: pick a count smaller than the first fold's unit
+    /// count.
+    pub after_units: Option<u64>,
+    /// Fire on entry to the Nth `fold_range` call (1-based: `Some(2)`
+    /// dies *between* the first and second fold).
+    pub after_folds: Option<u64>,
+    /// Fire during promotion itself — the double-fault schedule: the
+    /// standby dies while taking over.
+    pub on_promotion: bool,
+}
+
+impl KillSpec {
+    /// Kill mid-fold, after `units` completed units.
+    pub fn after_units(units: u64) -> Self {
+        KillSpec {
+            after_units: Some(units),
+            ..KillSpec::default()
+        }
+    }
+
+    /// Kill between folds, on entry to fold number `n` (1-based).
+    pub fn after_folds(n: u64) -> Self {
+        KillSpec {
+            after_folds: Some(n),
+            ..KillSpec::default()
+        }
+    }
+
+    /// Kill during promotion (standby double fault).
+    pub fn on_promotion() -> Self {
+        KillSpec {
+            on_promotion: true,
+            ..KillSpec::default()
+        }
+    }
+}
+
+/// The armed form of a [`KillSpec`]: shared atomic progress counters
+/// the coordinator consults at each unit completion, fold entry, and
+/// promotion.  Arm with `DistCoordinator::arm_kill`; when a check
+/// trips, the coordinator closes every socket abruptly (no `Bye`) and
+/// panics its solve thread with `CoordinatorKilled`.
+#[derive(Debug)]
+pub struct KillSwitch {
+    spec: KillSpec,
+    units: AtomicU64,
+    folds: AtomicU64,
+    fired: AtomicBool,
+}
+
+impl KillSwitch {
+    /// Arm `spec`.
+    pub fn arm(spec: KillSpec) -> Arc<KillSwitch> {
+        Arc::new(KillSwitch {
+            spec,
+            units: AtomicU64::new(0),
+            folds: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+        })
+    }
+
+    fn fire(&self) -> bool {
+        !self.fired.swap(true, Ordering::SeqCst)
+    }
+
+    /// Record one completed unit; true if the switch fires now.
+    pub fn note_unit(&self) -> bool {
+        let n = self.units.fetch_add(1, Ordering::SeqCst) + 1;
+        match self.spec.after_units {
+            Some(k) if n >= k && !self.fired.load(Ordering::SeqCst) => self.fire(),
+            _ => false,
+        }
+    }
+
+    /// Record one fold entry; true if the switch fires now.
+    pub fn note_fold(&self) -> bool {
+        let n = self.folds.fetch_add(1, Ordering::SeqCst) + 1;
+        match self.spec.after_folds {
+            Some(k) if n >= k && !self.fired.load(Ordering::SeqCst) => self.fire(),
+            _ => false,
+        }
+    }
+
+    /// Record a promotion attempt; true if the switch fires now.
+    pub fn note_promotion(&self) -> bool {
+        if self.spec.on_promotion && !self.fired.load(Ordering::SeqCst) {
+            self.fire()
+        } else {
+            false
+        }
+    }
+
+    /// Whether the switch has fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+}
+
+/// A failover gauntlet schedule: when the primary dies, and (for the
+/// double-fault scenario) when the standby dies too.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FailoverSchedule {
+    /// Kill spec armed on the primary (`None` = primary survives).
+    pub primary_kill: Option<KillSpec>,
+    /// Kill spec armed on the standby (`None` = standby survives).
+    pub standby_kill: Option<KillSpec>,
+}
+
 /// One proxy's misbehavior schedule.
 #[derive(Clone, Copy, Debug)]
 pub struct ChaosConfig {

@@ -1,6 +1,6 @@
 //! The coordinator: leases seed-range units to a fleet, re-issues what
-//! expires or orphans, dedups completions, and falls back to local
-//! evaluation when the fleet is gone.
+//! expires or orphans, dedups completions, replicates progress to
+//! standbys, and falls back to local evaluation when the fleet is gone.
 //!
 //! [`DistCoordinator`] implements [`SeedSearcher`], so it plugs
 //! straight into `Solver::with_seed_searcher`.  Strategy logic is not
@@ -9,9 +9,20 @@
 //! folding in-process — the selection is therefore field-for-field the
 //! local path's by construction (see the crate docs for the exactness
 //! argument).
+//!
+//! The same machinery serves two roles.  A **primary** (from
+//! [`DistCoordinator::bind`]) accepts workers immediately and streams
+//! [`Msg::Replicate`] unit completions to every connected standby.  A
+//! **standby's embedded coordinator** (`bind_standby`, driven by
+//! [`crate::standby::StandbySearcher`]) refuses workers with a friendly
+//! [`Msg::Refuse`] until promotion, then runs searches through
+//! [`DistCoordinator::run_search`] with the replicated completion state
+//! pre-seeded into each fold's [`LeaseTable`] — only what was still in
+//! flight at the primary's death is re-leased.
 
+use crate::chaos::KillSwitch;
 use crate::frame::{write_frame, FrameReader};
-use crate::proto::{Msg, PROTO_VERSION};
+use crate::proto::{Msg, Role, PROTO_VERSION};
 use crate::DistConfig;
 use parcolor_core::{BlockEval, SeedSearcher, SimScratch};
 use parcolor_exec::{LeaseTable, SumMinArgmin};
@@ -23,11 +34,18 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// The lease granted to the coordinator's own local-fallback path.
 const LOCAL_WORKER: u64 = 0;
+
+/// Panic payload used by an armed [`KillSwitch`] to abort the solve
+/// thread mid-fold.  The failover harness catches it; sockets are
+/// closed abruptly beforehand (no `Bye`), so peers observe a crash, not
+/// an orderly shutdown.
+#[derive(Debug)]
+pub struct CoordinatorKilled;
 
 /// Counters the coordinator accumulates across the whole solve
 /// (aggregating each fold's [`parcolor_exec::LeaseStats`]).
@@ -51,19 +69,42 @@ pub struct DistStats {
     pub duplicates: u64,
     /// Results for a fold that already concluded (late stragglers).
     pub stale_results: u64,
+    /// Whole result batches dropped by epoch fencing (frames issued by
+    /// a deposed primary must never merge, even if fold ids collide).
+    pub fenced: u64,
     /// Units merged from worker results.
     pub remote_units: u64,
     /// Units the coordinator folded itself (fallback path).
     pub local_units: u64,
+    /// Units pre-completed from the replication stream at promotion
+    /// (work the dead primary already merged that was not redone).
+    pub replayed_units: u64,
     /// Workers evicted for heartbeat silence.
     pub evictions: u64,
     /// Worker connections lost (EOF, I/O error, or `Bye`).
     pub disconnects: u64,
 }
 
+/// One fold's replicated completion state, keyed on the standby by
+/// `(search_id, fold_seq)`.  Geometry is carried so a promoted standby
+/// can verify the deterministically replayed fold matches before
+/// pre-completing units.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicatedFold {
+    /// First seed of the fold.
+    pub start: u64,
+    /// Seed count of the fold.
+    pub len: u64,
+    /// Seeds per unit.
+    pub unit_len: u64,
+    /// Completed units and their aggregates (deduped by unit id).
+    pub units: Vec<(u32, SumMinArgmin)>,
+}
+
 struct Peer {
     stream: TcpStream,
     last_seen: u64,
+    role: Role,
 }
 
 enum Event {
@@ -81,6 +122,16 @@ struct Shared {
     events_cv: Condvar,
     next_worker: AtomicU64,
     shutdown: AtomicBool,
+    /// Fencing epoch: starts at 1 on a primary, 0 on an unpromoted
+    /// standby, and bumps on every promotion.
+    epoch: AtomicU64,
+    /// Whether worker handshakes are accepted (false on a standby until
+    /// promotion — workers are refused with a "not primary" `Refuse`).
+    accepting: AtomicBool,
+    /// Set by a fired kill switch: the teardown was a crash, not an
+    /// orderly shutdown.
+    killed: AtomicBool,
+    kill: Mutex<Option<Arc<KillSwitch>>>,
 }
 
 impl Shared {
@@ -120,6 +171,51 @@ impl Shared {
             None => false,
         }
     }
+
+    fn worker_count(&self) -> usize {
+        self.peers
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|p| p.role == Role::Worker)
+            .count()
+    }
+
+    fn has_standby(&self) -> bool {
+        self.peers
+            .lock()
+            .unwrap()
+            .values()
+            .any(|p| p.role == Role::Standby)
+    }
+
+    /// Write `wire` to every standby peer; returns the ids whose send
+    /// failed (to be dropped by the caller).
+    fn send_to_standbys(&self, wire: &[u8]) -> Vec<u64> {
+        let mut dead = Vec::new();
+        let mut peers = self.peers.lock().unwrap();
+        for (&id, p) in peers.iter_mut() {
+            if p.role == Role::Standby && write_frame(&mut p.stream, wire).is_err() {
+                dead.push(id);
+            }
+        }
+        dead
+    }
+
+    /// Crash: close every socket abruptly (no `Bye` — peers must see a
+    /// death, not an orderly goodbye) and stop all loops.
+    fn die(&self) {
+        self.killed.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::SeqCst);
+        {
+            let mut peers = self.peers.lock().unwrap();
+            for (_, p) in peers.iter_mut() {
+                let _ = p.stream.shutdown(Shutdown::Both);
+            }
+            peers.clear();
+        }
+        self.events_cv.notify_all();
+    }
 }
 
 struct CoordState {
@@ -142,11 +238,32 @@ pub struct DistCoordinator {
 }
 
 impl DistCoordinator {
-    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting workers.
-    /// `job` is the opaque payload every `Welcome` carries — whatever
-    /// the workers need to reconstruct the instance (the CLI's codec
-    /// lives in `parcolor-cli`).
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting workers
+    /// as a primary (epoch 1).  `job` is the opaque payload every
+    /// `Welcome` carries — whatever the workers need to reconstruct the
+    /// instance (the CLI's codec lives in `parcolor-cli`).
     pub fn bind(addr: &str, job: Vec<u8>, cfg: DistConfig) -> io::Result<DistCoordinator> {
+        Self::bind_inner(addr, job, cfg, true, 1)
+    }
+
+    /// Bind as an unpromoted standby: the listener runs (so workers
+    /// probing the address get a fast, friendly `Refuse` instead of a
+    /// hang), but no handshake completes until [`Self::promote`].
+    pub(crate) fn bind_standby(
+        addr: &str,
+        job: Vec<u8>,
+        cfg: DistConfig,
+    ) -> io::Result<DistCoordinator> {
+        Self::bind_inner(addr, job, cfg, false, 0)
+    }
+
+    fn bind_inner(
+        addr: &str,
+        job: Vec<u8>,
+        cfg: DistConfig,
+        accepting: bool,
+        epoch: u64,
+    ) -> io::Result<DistCoordinator> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
@@ -160,6 +277,10 @@ impl DistCoordinator {
             events_cv: Condvar::new(),
             next_worker: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            epoch: AtomicU64::new(epoch),
+            accepting: AtomicBool::new(accepting),
+            killed: AtomicBool::new(false),
+            kill: Mutex::new(None),
         });
         let reader_handles = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = {
@@ -181,28 +302,85 @@ impl DistCoordinator {
         })
     }
 
+    /// The state lock, recovering from poisoning: an armed kill switch
+    /// panics the solve thread mid-fold by design, and the harness must
+    /// still read stats afterwards.
+    fn state_lock(&self) -> MutexGuard<'_, CoordState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// Currently connected workers.
+    /// Currently connected worker-role peers (standbys not counted).
     pub fn connected_workers(&self) -> usize {
-        self.shared.peers.lock().unwrap().len()
+        self.shared.worker_count()
+    }
+
+    /// Currently connected standby-role peers.
+    pub fn connected_standbys(&self) -> usize {
+        self.shared
+            .peers
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|p| p.role == Role::Standby)
+            .count()
+    }
+
+    /// The current fencing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Whether an armed kill switch fired (teardown was a crash).
+    pub fn was_killed(&self) -> bool {
+        self.shared.killed.load(Ordering::SeqCst)
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> DistStats {
-        self.state.lock().unwrap().stats
+        self.state_lock().stats
+    }
+
+    /// Arm a deterministic kill switch: when it fires (unit/fold counts
+    /// or promotion, see [`KillSwitch`]), the coordinator closes every
+    /// socket abruptly and panics the solve thread with
+    /// [`CoordinatorKilled`] — a simulated crash for the chaos gauntlet.
+    pub fn arm_kill(&self, switch: Arc<KillSwitch>) {
+        *self.shared.kill.lock().unwrap() = Some(switch);
+    }
+
+    /// Orderly handover: send `Promote` to the lowest-id connected
+    /// standby, telling it to take over at `epoch + 1`.  Returns whether
+    /// a standby received it.  The caller is expected to stop granting
+    /// afterwards (typically by shutting down).
+    pub fn handover(&self) -> bool {
+        let epoch = self.epoch() + 1;
+        let wire = Msg::Promote { epoch }.encode();
+        let mut peers = self.shared.peers.lock().unwrap();
+        let mut ids: Vec<u64> = peers
+            .iter()
+            .filter(|(_, p)| p.role == Role::Standby)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let p = peers.get_mut(&id).expect("listed standby");
+            if write_frame(&mut p.stream, &wire).is_ok() {
+                return true;
+            }
+        }
+        false
     }
 
     /// Broadcast `Bye`, close every connection, and stop the accept
-    /// loop.  Idempotent; also runs on drop.
+    /// loop.  Idempotent; also runs on drop.  After a kill the sockets
+    /// are already gone, so this only reaps threads.
     pub fn shutdown(&self) {
-        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        {
+        if !self.shared.shutdown.swap(true, Ordering::SeqCst) {
             let mut peers = self.shared.peers.lock().unwrap();
             for (_, peer) in peers.iter_mut() {
                 let _ = write_frame(&mut peer.stream, &Msg::Bye.encode());
@@ -220,8 +398,10 @@ impl DistCoordinator {
 
     /// Wait (bounded) for the configured fleet before the first search,
     /// so benches measure distribution rather than a race the
-    /// coordinator wins alone.
-    fn wait_for_fleet(&self) {
+    /// coordinator wins alone.  Also called after a standby's promotion
+    /// so the orphaned fleet has a chance to re-home before the first
+    /// re-leased fold.
+    pub(crate) fn wait_for_fleet(&self) {
         let cfg = &self.shared.cfg;
         if cfg.min_workers == 0 {
             return;
@@ -231,36 +411,54 @@ impl DistCoordinator {
             std::thread::sleep(Duration::from_millis(cfg.poll_ms.max(1)));
         }
     }
-}
 
-impl Drop for DistCoordinator {
-    fn drop(&mut self) {
-        self.shutdown();
+    /// Promote a standby-bound coordinator: adopt `epoch`, install the
+    /// tailed `history` (so worker `Welcome`s fast-forward correctly),
+    /// position the search counter, and start accepting workers.
+    pub(crate) fn promote(&self, epoch: u64, history: Vec<SeedSelection>, next_search: u64) {
+        let fire = match self.shared.kill.lock().unwrap().as_ref() {
+            Some(k) => k.note_promotion(),
+            None => false,
+        };
+        if fire {
+            self.shared.die();
+            std::panic::panic_any(CoordinatorKilled);
+        }
+        self.shared.epoch.store(epoch, Ordering::SeqCst);
+        *self.shared.history.lock().unwrap() = history;
+        {
+            let mut st = self.state_lock();
+            st.next_search = next_search;
+        }
+        self.shared.accepting.store(true, Ordering::SeqCst);
     }
-}
 
-impl SeedSearcher for DistCoordinator {
-    fn select(
+    /// Run one search through the leasing machinery.  `preseed` carries
+    /// replicated completion state keyed by per-search fold sequence —
+    /// a promoted standby passes what it tailed from the dead primary;
+    /// a primary passes an empty map.
+    pub(crate) fn run_search(
         &self,
         seed_bits: u32,
         strategy: SeedStrategy,
         workers: usize,
         n: usize,
         eval_block: BlockEval,
+        preseed: HashMap<u64, ReplicatedFold>,
     ) -> SeedSelection {
-        let mut st = self.state.lock().unwrap();
-        if !st.waited_for_fleet {
-            st.waited_for_fleet = true;
-            drop(st);
-            self.wait_for_fleet();
-            st = self.state.lock().unwrap();
-        }
+        let mut st = self.state_lock();
         let search_id = st.next_search;
         st.next_search += 1;
+        let epoch = self.shared.epoch.load(Ordering::SeqCst);
+        let kill = self.shared.kill.lock().unwrap().clone();
         let mut folder = LeasingFolder {
             shared: &self.shared,
             st: &mut st,
             search_id,
+            epoch,
+            fold_seq: 0,
+            preseed,
+            kill,
             n,
             workers,
             eval_block,
@@ -278,6 +476,7 @@ impl SeedSearcher for DistCoordinator {
             let mut history = self.shared.history.lock().unwrap();
             history.push(sel.clone());
             let wire = Msg::Chosen {
+                epoch,
                 search_id,
                 selection: sel.clone(),
             }
@@ -298,12 +497,47 @@ impl SeedSearcher for DistCoordinator {
     }
 }
 
+impl Drop for DistCoordinator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl SeedSearcher for DistCoordinator {
+    fn select(
+        &self,
+        seed_bits: u32,
+        strategy: SeedStrategy,
+        workers: usize,
+        n: usize,
+        eval_block: BlockEval,
+    ) -> SeedSelection {
+        {
+            let mut st = self.state_lock();
+            if !st.waited_for_fleet {
+                st.waited_for_fleet = true;
+                drop(st);
+                self.wait_for_fleet();
+            }
+        }
+        self.run_search(seed_bits, strategy, workers, n, eval_block, HashMap::new())
+    }
+}
+
 /// The [`RangeFolder`] that leases.  Lives for one search; `pool` is
 /// its local-evaluation scratch arena (fallbacks and short folds).
 struct LeasingFolder<'a, 'b> {
     shared: &'a Shared,
     st: &'a mut CoordState,
     search_id: u64,
+    epoch: u64,
+    /// Fold counter *within this search* — deterministic across
+    /// replicas (both a primary and a promoted standby count
+    /// `fold_range` calls identically), unlike the coordinator-global
+    /// `next_fold`.  Keys the replication stream.
+    fold_seq: u64,
+    preseed: HashMap<u64, ReplicatedFold>,
+    kill: Option<Arc<KillSwitch>>,
     n: usize,
     workers: usize,
     eval_block: BlockEval<'b>,
@@ -317,6 +551,53 @@ fn unit_range(start: u64, len: u64, unit_len: u64, unit: u32) -> (u64, u64) {
 }
 
 impl LeasingFolder<'_, '_> {
+    /// Crash now if the armed kill switch says this completed unit was
+    /// the trigger (simulated coordinator death, mid-fold).
+    fn kill_check_unit(&mut self) {
+        if let Some(k) = &self.kill {
+            if k.note_unit() {
+                self.shared.die();
+                std::panic::panic_any(CoordinatorKilled);
+            }
+        }
+    }
+
+    /// Crash now if the armed kill switch triggers on fold boundaries.
+    fn kill_check_fold(&mut self) {
+        if let Some(k) = &self.kill {
+            if k.note_fold() {
+                self.shared.die();
+                std::panic::panic_any(CoordinatorKilled);
+            }
+        }
+    }
+
+    /// Stream one completed unit to the standbys (no-op without any).
+    fn replicate_unit(&mut self, seq: u64, geom: (u64, u64, u64), unit: u32, agg: SumMinArgmin) {
+        if !self.shared.has_standby() {
+            return;
+        }
+        let (fold_start, fold_len, unit_len) = geom;
+        let wire = Msg::Replicate {
+            epoch: self.epoch,
+            search_id: self.search_id,
+            fold_seq: seq,
+            fold_start,
+            fold_len,
+            unit_len,
+            unit,
+            sum: agg.sum,
+            min: agg.min,
+            argmin: agg.argmin,
+        }
+        .encode();
+        for id in self.shared.send_to_standbys(&wire) {
+            if self.shared.drop_peer(id) {
+                self.st.stats.disconnects += 1;
+            }
+        }
+    }
+
     /// Fold a range on the in-process pool — the same primitive
     /// `select_seed_blocks_n` uses, so local shares are bit-identical.
     fn local_fold(&mut self, start: u64, len: u64) -> SumMinArgmin {
@@ -332,7 +613,7 @@ impl LeasingFolder<'_, '_> {
     /// Lease the fold out to the fleet; merge first-completions; expire,
     /// orphan, and re-issue as needed; degrade to local evaluation when
     /// the fleet is gone or the fold stalls.
-    fn remote_fold(&mut self, start: u64, len: u64, unit_len: u64) -> SumMinArgmin {
+    fn remote_fold(&mut self, start: u64, len: u64, unit_len: u64, seq: u64) -> SumMinArgmin {
         let cfg = &self.shared.cfg;
         let nunits = len.div_ceil(unit_len);
         let fold_id = self.st.next_fold;
@@ -340,14 +621,30 @@ impl LeasingFolder<'_, '_> {
         self.st.stats.remote_folds += 1;
         let mut table = LeaseTable::new(nunits as u32);
         let mut acc = SumMinArgmin::EMPTY;
-        let fold_start = self.shared.now_ms();
+        let geom = (start, len, unit_len);
 
+        // Promotion replay: pre-complete every unit the dead primary
+        // already merged (and replicated) for this fold, provided the
+        // deterministically re-derived geometry matches.  Only what was
+        // still in flight stays pending and gets (re-)leased.
+        if let Some(rf) = self.preseed.remove(&seq) {
+            if (rf.start, rf.len, rf.unit_len) == geom {
+                for (unit, agg) in rf.units {
+                    if (unit as u64) < nunits && table.complete(unit) {
+                        acc = acc.merge(agg);
+                        self.st.stats.replayed_units += 1;
+                    }
+                }
+            }
+        }
+
+        let fold_start = self.shared.now_ms();
         while !table.is_done() {
             let now = self.shared.now_ms();
             table.expire(now);
 
-            // Evict workers that have been silent past the heartbeat
-            // timeout; their leases go back to pending.
+            // Evict peers that have been silent past the heartbeat
+            // timeout; a worker's leases go back to pending.
             let mut dead: Vec<u64> = Vec::new();
             {
                 let peers = self.shared.peers.lock().unwrap();
@@ -365,11 +662,16 @@ impl LeasingFolder<'_, '_> {
             }
 
             // Grant pending units to live workers, lowest worker id
-            // first, up to the pipelining depth.
+            // first, up to the pipelining depth.  Standbys never serve
+            // leases — they only tail the replication stream.
             let mut send_failed: Vec<u64> = Vec::new();
             {
                 let mut peers = self.shared.peers.lock().unwrap();
-                let mut ids: Vec<u64> = peers.keys().copied().collect();
+                let mut ids: Vec<u64> = peers
+                    .iter()
+                    .filter(|(_, p)| p.role == Role::Worker)
+                    .map(|(&id, _)| id)
+                    .collect();
                 ids.sort_unstable();
                 'workers: for id in ids {
                     while table.pending_len() > 0 && table.outstanding_of(id) < cfg.max_outstanding
@@ -379,6 +681,7 @@ impl LeasingFolder<'_, '_> {
                         };
                         let (ustart, ulen) = unit_range(start, len, unit_len, lease.unit);
                         let wire = Msg::Grant {
+                            epoch: self.epoch,
                             search_id: self.search_id,
                             fold_id,
                             lease_id: lease.lease_id,
@@ -402,7 +705,9 @@ impl LeasingFolder<'_, '_> {
                 table.release_worker(id);
             }
 
-            // Merge completions; first copy per unit wins.
+            // Merge completions; first copy per unit wins.  Batches are
+            // fenced by epoch first: frames from a deposed primary's
+            // grants are dropped wholesale, before unit dedup applies.
             for ev in self.shared.drain_events(cfg.poll_ms.max(1)) {
                 match ev {
                     Event::Gone(id) => {
@@ -414,20 +719,30 @@ impl LeasingFolder<'_, '_> {
                     Event::Msg(
                         _,
                         Msg::Result {
+                            epoch,
                             search_id,
                             fold_id: result_fold,
-                            unit,
-                            sum,
-                            min,
-                            argmin,
-                            ..
+                            batch,
                         },
                     ) => {
-                        if search_id != self.search_id || result_fold != fold_id {
-                            self.st.stats.stale_results += 1;
-                        } else if (unit as u64) < nunits && table.complete(unit) {
-                            acc = acc.merge(SumMinArgmin { sum, min, argmin });
-                            self.st.stats.remote_units += 1;
+                        if epoch != self.epoch {
+                            self.st.stats.fenced += batch.len() as u64;
+                        } else if search_id != self.search_id || result_fold != fold_id {
+                            self.st.stats.stale_results += batch.len() as u64;
+                        } else {
+                            for r in batch {
+                                if (r.unit as u64) < nunits && table.complete(r.unit) {
+                                    let agg = SumMinArgmin {
+                                        sum: r.sum,
+                                        min: r.min,
+                                        argmin: r.argmin,
+                                    };
+                                    acc = acc.merge(agg);
+                                    self.st.stats.remote_units += 1;
+                                    self.replicate_unit(seq, geom, r.unit, agg);
+                                    self.kill_check_unit();
+                                }
+                            }
                         }
                     }
                     Event::Msg(id, Msg::Bye) => {
@@ -444,7 +759,7 @@ impl LeasingFolder<'_, '_> {
             // the patience window despite live-looking workers — fold
             // pending units locally, one per tick so fresh results can
             // still interleave.  Dedup makes the overlap harmless.
-            let fleet_gone = self.shared.peers.lock().unwrap().is_empty();
+            let fleet_gone = self.shared.worker_count() == 0;
             let stalled =
                 now.saturating_sub(fold_start) > cfg.local_patience_ms && table.pending_len() > 0;
             if !table.is_done() && (fleet_gone || stalled) {
@@ -454,6 +769,8 @@ impl LeasingFolder<'_, '_> {
                     table.complete(lease.unit);
                     acc = acc.merge(part);
                     self.st.stats.local_units += 1;
+                    self.replicate_unit(seq, geom, lease.unit, part);
+                    self.kill_check_unit();
                 }
             }
         }
@@ -471,14 +788,22 @@ impl LeasingFolder<'_, '_> {
 impl RangeFolder for LeasingFolder<'_, '_> {
     fn fold_range(&mut self, start: u64, len: u64) -> SumMinArgmin {
         self.st.stats.folds += 1;
+        let seq = self.fold_seq;
+        self.fold_seq += 1;
+        self.kill_check_fold();
         let cfg = &self.shared.cfg;
         let unit_len = (cfg.blocks_per_lease.max(1)) * SEED_BLOCK as u64;
-        let no_fleet = self.shared.peers.lock().unwrap().is_empty();
+        let no_fleet = self.shared.worker_count() == 0;
         if len < cfg.min_remote_len || no_fleet {
-            self.st.stats.local_units += len.div_ceil(unit_len);
-            return self.local_fold(start, len);
+            let units = len.div_ceil(unit_len);
+            self.st.stats.local_units += units;
+            let acc = self.local_fold(start, len);
+            for _ in 0..units {
+                self.kill_check_unit();
+            }
+            return acc;
         }
-        self.remote_fold(start, len, unit_len)
+        self.remote_fold(start, len, unit_len, seq)
     }
 
     fn eval_seed(&mut self, seed: u64) -> f64 {
@@ -514,10 +839,10 @@ fn accept_loop(
     }
 }
 
-/// Per-connection reader: handshake (`Hello` → `Welcome` + register),
-/// then pump frames into the event queue until death.  After
-/// registration this thread never writes — the solve thread owns the
-/// write half.
+/// Per-connection reader: handshake (`Hello` → `Welcome` + register, or
+/// a friendly `Refuse`), then pump frames into the event queue until
+/// death.  After registration this thread never writes — the solve
+/// thread owns the write half.
 fn reader_loop(stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     if stream
@@ -544,37 +869,69 @@ fn reader_loop(stream: TcpStream, shared: Arc<Shared>) {
             Err(_) => return,
         }
     };
-    match Msg::decode(&hello) {
-        Ok(Msg::Hello { version }) if version == PROTO_VERSION => {}
-        _ => return, // wrong first message or version: refuse silently
-    }
+    let refuse = |reason: String| {
+        let mut write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let _ = write_frame(
+            &mut write_half,
+            &Msg::Refuse {
+                required_version: PROTO_VERSION,
+                reason,
+            }
+            .encode(),
+        );
+        let _ = stream.shutdown(Shutdown::Both);
+    };
+    let role = match Msg::decode(&hello) {
+        Ok(Msg::Hello { version, role }) if version == PROTO_VERSION => {
+            if !shared.accepting.load(Ordering::SeqCst) {
+                // A standby's listener: friendly redirect so probing
+                // workers keep cycling their coordinator list.
+                refuse("not primary: this coordinator is an unpromoted standby".into());
+                return;
+            }
+            role
+        }
+        Ok(Msg::Hello { version, .. }) => {
+            refuse(format!(
+                "protocol version {version} not supported (this coordinator speaks v{PROTO_VERSION})"
+            ));
+            return;
+        }
+        _ => return, // not a Hello at all: refuse silently
+    };
 
     let id = shared.next_worker.fetch_add(1, Ordering::SeqCst);
     {
         // Snapshot history and register atomically (history before
         // peers — the same order the broadcast path locks), so no
-        // Chosen can fall between the snapshot and registration.
+        // Chosen can fall between the snapshot and registration.  The
+        // peer is inserted before its Welcome is written: once the
+        // handshake completes on the peer's side, it is registered.
         let history = shared.history.lock().unwrap();
         let welcome = Msg::Welcome {
             worker_id: id,
+            epoch: shared.epoch.load(Ordering::SeqCst),
             job: shared.job.clone(),
             history: history.clone(),
         }
         .encode();
-        let mut write_half = match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => return,
-        };
-        if write_frame(&mut write_half, &welcome).is_err() {
-            return;
-        }
-        shared.peers.lock().unwrap().insert(
+        let mut peers = shared.peers.lock().unwrap();
+        peers.insert(
             id,
             Peer {
                 stream,
                 last_seen: shared.now_ms(),
+                role,
             },
         );
+        let peer = peers.get_mut(&id).expect("just inserted");
+        if write_frame(&mut peer.stream, &welcome).is_err() {
+            peers.remove(&id);
+            return;
+        }
     }
 
     loop {

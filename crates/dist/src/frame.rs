@@ -51,6 +51,14 @@ impl FrameReader {
         }
     }
 
+    /// Adjust the underlying socket's read timeout.  The worker uses
+    /// this to shrink its poll tick while a result batch is pending, so
+    /// the flush window (`result_flush_ms`) can be shorter than the
+    /// steady-state tick.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
     fn take_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
         if self.buf.len() < 4 {
             return Ok(None);

@@ -1,5 +1,5 @@
 #![warn(missing_docs)]
-//! Fault-tolerant distributed seed search.
+//! Fault-tolerant distributed seed search with coordinator failover.
 //!
 //! The seed search is the hot loop of the whole reproduction: every
 //! derandomized step folds a `(sum, min, argmin)` reduce over `2^d`
@@ -7,10 +7,11 @@
 //! machine's cores; this crate spreads it across a fleet, over plain
 //! `std::net` TCP with a hand-rolled length-prefixed codec (no external
 //! dependencies), and keeps the answer **bit-identical** to the
-//! single-machine path under worker crashes, restarts, stragglers, and
-//! a lossy network.
+//! single-machine path under worker crashes, restarts, stragglers, a
+//! lossy network — and, since protocol v2, the death of the
+//! coordinator itself.
 //!
-//! ## Why re-issue is exact
+//! ## Why re-issue (and failover) is exact
 //!
 //! Everything rests on one algebraic fact (see
 //! [`parcolor_exec::SumMinArgmin`]): the per-seed cost is a pure
@@ -25,29 +26,47 @@
 //! merged, the rest are **deduplicated by unit id**, and the final
 //! [`SeedSelection`] — seed, cost, mean, trace, everything — is
 //! field-for-field the one `select_seed_blocks_n` computes locally.
-//! The strategy logic itself is not reimplemented here: both paths run
-//! [`parcolor_prg::select_seed_folded`] and differ only in the
+//! The identical argument covers a *promoted standby*: it replays the
+//! dead primary's completed units from the replication stream and
+//! re-leases the rest, and since every unit still has its one possible
+//! aggregate, the fold — and the whole chosen-seed sequence — comes out
+//! bit-identical to a never-failed run.  The strategy logic itself is
+//! not reimplemented here: every path runs
+//! [`parcolor_prg::select_seed_folded`] and differs only in the
 //! [`parcolor_prg::RangeFolder`] plugged into it.
 //!
-//! ## Protocol
+//! ## Protocol (v2)
 //!
-//! One coordinator, any number of workers, one TCP connection each.
-//! Frames are `u32` little-endian length + payload ([`frame`]); the
-//! payload's first byte tags the message ([`proto::Msg`]):
+//! One primary coordinator, any number of workers, optionally a standby
+//! coordinator; one TCP connection each.  Frames are `u32`
+//! little-endian length + payload ([`frame`]); the payload's first byte
+//! tags the message ([`proto::Msg`]):
 //!
 //! ```text
-//! worker                          coordinator
-//!   | -- Hello{version} ------------> |   handshake
-//!   | <-- Welcome{id, job, history} - |   job bytes + all past selections
-//!   |                                 |
-//!   | <-- Grant{search, fold, lease,  |   lease: fold seeds start..start+len
-//!   |          unit, start, len} ---- |
-//!   | -- Result{..., sum,min,argmin}> |   merged once per unit, dups dropped
-//!   | <-- Chosen{search, selection} - |   search concluded; replica advances
-//!   |                                 |
-//!   | -- Ping ----------------------> |   idle heartbeat (liveness only)
-//!   | -- Bye / <-- Bye -------------- |   orderly shutdown
+//! worker                          primary                     standby
+//!   | -- Hello{v2, role:Worker} ----> | <-- Hello{v2, role:Standby} - |
+//!   | <-- Welcome{id, epoch, job,     | -- Welcome{...} ------------> |
+//!   |             history} ---------- |                               |
+//!   |                                 |                               |
+//!   | <-- Grant{epoch, search, fold,  |                               |
+//!   |       lease, unit, start, len}- |                               |
+//!   | -- Result{epoch, search, fold,  | -- Replicate{epoch, search,   |
+//!   |       [unit aggregates]} -----> |      fold_seq, geometry,      |
+//!   |                                 |      unit, aggregate} ------> |
+//!   | <-- Chosen{epoch, search, sel}- | -- Chosen ------------------> |
+//!   |                                 |                               |
+//!   | -- Ping ----------------------> |   idle heartbeat (liveness)   |
+//!   | <-- Refuse{version, reason} --- |   friendly handshake refusal  |
+//!   |                                 | -- Promote{epoch} ----------> |
+//!   | -- Bye / <-- Bye -------------- |   orderly shutdown            |
 //! ```
+//!
+//! A v1 `Hello` (no role byte) is answered with
+//! `Refuse{required_version: 2, ...}` — a clean version refusal on both
+//! sides, never a panic.  `Result` is a **batch**: workers coalesce
+//! completed units under a `result_flush_ms` window (flushing early on
+//! the pipelining depth, a key change, or a heartbeat), cutting frame
+//! count on chatty links while dedup semantics stay per unit.
 //!
 //! Workers are **replicated state machines**: each runs the full
 //! deterministic solve on the same job bytes, so graph state never
@@ -58,6 +77,45 @@
 //! reconnects mid-solve fast-forwards through `Welcome.history` instead
 //! of replaying network traffic.
 //!
+//! ## Epochs
+//!
+//! Every granted lease and every result carries the issuing
+//! coordinator's **epoch** (primary = 1, each promotion += 1, or as
+//! dictated by `Promote`).  A new primary's global fold counter
+//! restarts, so `(search_id, fold_id)` pairs can alias across a
+//! failover; the epoch check runs *before* unit dedup and drops a
+//! stale-primary batch wholesale (the `fenced` stat counts them).
+//! Fencing is defense-in-depth — a worker holds one connection at a
+//! time, so in the common schedules stale frames die with the old
+//! socket — but it makes the merge safe against any interleaving.
+//!
+//! ## Failover state machine
+//!
+//! A **standby** ([`standby::Standby`]) is a worker-shaped tail plus a
+//! refusing listener plus a full replica:
+//!
+//! 1. **Tailing** — connected to the primary with `role: Standby`, it
+//!    receives the standard `Welcome`, every `Chosen`, and a
+//!    `Replicate` frame per completed work unit carrying the unit's
+//!    aggregate and its deterministic position (`search_id`, per-search
+//!    `fold_seq`, fold geometry).  Its own listener answers worker
+//!    handshakes with `Refuse("not primary")`.
+//! 2. **Promotion trigger** — any of: `Promote{epoch}` from the primary
+//!    (orderly handover), `Bye` (orderly shutdown with searches left),
+//!    or `standby_reconnects` consecutive failed reconnects (crash).
+//! 3. **Promoted** — the embedded [`DistCoordinator`] adopts the new
+//!    epoch and the tailed history, starts accepting workers (the
+//!    orphaned fleet's reconnect sweep lands here and fast-forwards via
+//!    `Welcome.history`), and runs every remaining search through the
+//!    normal leasing machinery.  Each fold's [`parcolor_exec::LeaseTable`]
+//!    is pre-completed from the replicated state — geometry-checked
+//!    against the deterministically re-derived fold, counted in
+//!    `replayed_units` — so only work in flight at the death is
+//!    re-leased.
+//! 4. **Double fault** — if the standby dies too (or none exists),
+//!    workers exhaust their reconnect budget and finish **standalone**:
+//!    the same coloring from the in-process search, never a panic.
+//!
 //! ## Lease lifecycle
 //!
 //! Each fold slices its seed range into units of
@@ -66,7 +124,7 @@
 //!
 //! 1. **Grant** — lowest pending unit first, to any live worker with
 //!    fewer than `max_outstanding` leases, deadline `now +
-//!    lease_timeout_ms`.
+//!    lease_timeout_ms`.  Standbys never serve leases.
 //! 2. **Expire** — past-deadline leases return their unit to the front
 //!    of the pending queue (straggler insurance); the unit is re-issued
 //!    with a fresh lease id.  The straggler's late result is still
@@ -75,22 +133,27 @@
 //! 3. **Orphan** — a disconnect or heartbeat eviction returns all of
 //!    that worker's outstanding units to the pending queue.
 //! 4. **Complete** — the first `Result` per unit merges into the fold
-//!    accumulator; later copies (and results for stale folds) are
-//!    counted and dropped.
+//!    accumulator and is streamed to the standbys as `Replicate`; later
+//!    copies (and results for stale folds or fenced epochs) are counted
+//!    and dropped.
 //! 5. **Local fallback** — whenever no worker is connected, the
 //!    coordinator folds pending units itself on the in-process pool, so
 //!    the solve finishes even if the entire fleet dies (graceful
 //!    degradation to `select_seed_blocks_n`).
 //!
 //! Workers reconnect with exponential backoff plus deterministic
-//! jitter; after `max_reconnects` consecutive failures a worker flips
-//! to **standalone** mode and finishes its replica locally — still
+//! jitter, sweeping their whole ordered coordinator list per attempt;
+//! after `max_reconnects` consecutive failed sweeps a worker flips to
+//! **standalone** mode and finishes its replica locally — still
 //! producing the bit-identical coloring, never a panic.
 //!
 //! [`chaos`] supplies the deterministic failure harness: a frame-aware
 //! TCP proxy that drops, delays, and severs whole frames under a seeded
-//! splitmix64 PRG, so the loopback e2e suite ([`cluster`]) can assert
-//! bit-identity under kill/restart/straggler schedules.
+//! splitmix64 PRG, plus [`chaos::KillSwitch`] — progress-counted
+//! coordinator kills (mid-fold, between folds, during promotion) that
+//! close sockets abruptly and panic the solve thread, so the loopback
+//! e2e suite ([`cluster`]) can assert bit-identity under every kill
+//! schedule.
 //!
 //! [`SEED_BLOCK`]: parcolor_prg::SEED_BLOCK
 //! [`SeedSelection`]: parcolor_prg::SeedSelection
@@ -100,11 +163,16 @@ pub mod cluster;
 pub mod coordinator;
 pub mod frame;
 pub mod proto;
+pub mod standby;
 pub mod worker;
 
-pub use chaos::{ChaosConfig, ChaosProxy, SplitMix64};
-pub use cluster::{solve_on_cluster, ClusterOutcome};
-pub use coordinator::{DistCoordinator, DistStats};
+pub use chaos::{ChaosConfig, ChaosProxy, FailoverSchedule, KillSpec, KillSwitch, SplitMix64};
+pub use cluster::{
+    install_quiet_kill_hook, solve_on_cluster, solve_on_failover_cluster, ClusterOutcome,
+    FailoverOutcome,
+};
+pub use coordinator::{CoordinatorKilled, DistCoordinator, DistStats, ReplicatedFold};
+pub use standby::{run_standby, Standby, StandbySearcher, StandbyStats};
 pub use worker::{run_worker, WorkerSearcher, WorkerStats};
 
 /// Tuning knobs shared by the coordinator and the workers.
@@ -121,7 +189,8 @@ pub struct DistConfig {
     pub blocks_per_lease: u64,
     /// Coordinator event-loop tick and worker idle-poll granularity.
     pub poll_ms: u64,
-    /// Maximum leases outstanding per worker (pipelining depth).
+    /// Maximum leases outstanding per worker (pipelining depth); also
+    /// the worker's result-batch flush threshold.
     pub max_outstanding: usize,
     /// Folds shorter than this many seeds are evaluated on the
     /// coordinator without distribution (the deep bits of the bitwise
@@ -137,7 +206,8 @@ pub struct DistConfig {
     pub local_patience_ms: u64,
     /// Workers to wait for (up to `min_worker_wait_ms`) before the
     /// first fold starts granting, so tests and benches measure the
-    /// fleet rather than the coordinator racing it alone.
+    /// fleet rather than the coordinator racing it alone.  A promoted
+    /// standby applies the same wait before its first re-leased fold.
     pub min_workers: usize,
     /// How long to wait for `min_workers`.
     pub min_worker_wait_ms: u64,
@@ -145,13 +215,20 @@ pub struct DistConfig {
     pub connect_backoff_ms: u64,
     /// Worker: backoff ceiling.
     pub max_backoff_ms: u64,
-    /// Worker: consecutive connection failures tolerated before
-    /// flipping to standalone (local) mode.
+    /// Worker: consecutive failed sweeps of the coordinator list
+    /// tolerated before flipping to standalone (local) mode.
     pub max_reconnects: u32,
     /// Worker: reconnect if the coordinator has been silent this long
     /// (covers a lost `Chosen` frame — the reconnect's `Welcome`
     /// history resynchronizes the replica).
     pub idle_reconnect_ms: u64,
+    /// Worker: flush window for result batching — a completed unit
+    /// waits at most this long before its (possibly singleton) batch is
+    /// sent as one `Result` frame.
+    pub result_flush_ms: u64,
+    /// Standby: consecutive failed reconnects to the primary before
+    /// concluding it is dead and promoting itself.
+    pub standby_reconnects: u32,
     /// Worker: seed for the backoff jitter PRG.
     pub jitter_seed: u64,
 }
@@ -172,6 +249,8 @@ impl Default for DistConfig {
             max_backoff_ms: 2_000,
             max_reconnects: 8,
             idle_reconnect_ms: 10_000,
+            result_flush_ms: 3,
+            standby_reconnects: 3,
             jitter_seed: 0x9E37_79B9_7F4A_7C15,
         }
     }

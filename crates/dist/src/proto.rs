@@ -1,16 +1,33 @@
-//! The coordinator/worker message set and its wire encoding.
+//! The coordinator/worker message set and its wire encoding (v2).
 //!
 //! See the crate docs for the protocol narrative.  Every message is one
 //! frame; the first payload byte is the message tag.  Unknown tags and
 //! malformed payloads decode to errors (never panics) — the receiving
 //! loop drops the connection, and the lease layer absorbs the loss.
+//!
+//! ## Version 2
+//!
+//! v2 is the failover revision: `Hello` carries the peer's [`Role`],
+//! `Welcome`/`Grant`/`Chosen` carry the coordinator **epoch** (fencing:
+//! frames from a deposed primary are dropped by epoch mismatch, never
+//! merged), `Result` became a *batch* of unit aggregates (worker-side
+//! result coalescing), and three messages were added: [`Msg::Replicate`]
+//! (primary → standby unit-completion stream), [`Msg::Promote`]
+//! (deliberate leadership handover) and [`Msg::Refuse`] (friendly
+//! handshake refusal — version mismatch or "not primary yet").
+//!
+//! v1 peers are refused cleanly: a v1 `Hello` (no role byte) still
+//! decodes, so a v2 coordinator can answer it with `Refuse` instead of
+//! hanging up silently, and a v1 coordinator's silence makes a v2
+//! worker's handshake fail with a timeout, not a panic.
 
 use crate::frame::{Dec, Enc};
 use parcolor_prg::SeedSelection;
 use std::io;
 
-/// Protocol version carried in `Hello`; mismatched peers are refused.
-pub const PROTO_VERSION: u32 = 1;
+/// Protocol version carried in `Hello`; mismatched peers are refused
+/// with [`Msg::Refuse`].
+pub const PROTO_VERSION: u32 = 2;
 
 const T_HELLO: u8 = 1;
 const T_WELCOME: u8 = 2;
@@ -19,23 +36,74 @@ const T_RESULT: u8 = 4;
 const T_CHOSEN: u8 = 5;
 const T_PING: u8 = 6;
 const T_BYE: u8 = 7;
+const T_REPLICATE: u8 = 8;
+const T_PROMOTE: u8 = 9;
+const T_REFUSE: u8 = 10;
+
+/// What a connecting peer is (carried in `Hello` since v2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// A lease-serving worker replica.
+    Worker,
+    /// A standby coordinator tailing the replication stream.
+    Standby,
+}
+
+impl Role {
+    fn to_u8(self) -> u8 {
+        match self {
+            Role::Worker => 0,
+            Role::Standby => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> io::Result<Role> {
+        match v {
+            0 => Ok(Role::Worker),
+            1 => Ok(Role::Standby),
+            _ => Err(io::Error::new(io::ErrorKind::InvalidData, "unknown role")),
+        }
+    }
+}
+
+/// One unit's grouping-invariant aggregate inside a [`Msg::Result`]
+/// batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UnitResult {
+    /// Echo of the grant's lease.
+    pub lease_id: u64,
+    /// Echo of the grant's unit (the dedup key).
+    pub unit: u32,
+    /// Sum of the unit's costs.
+    pub sum: f64,
+    /// Minimum cost in the unit.
+    pub min: f64,
+    /// Lowest seed achieving the minimum.
+    pub argmin: u64,
+}
 
 /// One protocol message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Msg {
-    /// Worker → coordinator: first frame on every connection.
+    /// Peer → coordinator: first frame on every connection.
     Hello {
         /// Must equal [`PROTO_VERSION`].
         version: u32,
+        /// Worker or standby (v1 peers, which have no role byte, decode
+        /// as `Worker` so the coordinator can refuse them politely).
+        role: Role,
     },
-    /// Coordinator → worker: handshake reply.  Carries everything a
-    /// fresh (or reconnecting) worker needs to join mid-solve: the
-    /// opaque job bytes and the full history of already-chosen
-    /// selections (`history[s]` is search `s`'s outcome), which the
-    /// worker's replicated solve fast-forwards through.
+    /// Coordinator → peer: handshake reply.  Carries everything a fresh
+    /// (or reconnecting) peer needs to join mid-solve: the opaque job
+    /// bytes, the coordinator's epoch, and the full history of
+    /// already-chosen selections (`history[s]` is search `s`'s outcome),
+    /// which the peer's replicated solve fast-forwards through.
     Welcome {
-        /// Coordinator-assigned worker identity (unique per connection).
+        /// Coordinator-assigned peer identity (unique per connection).
         worker_id: u64,
+        /// The coordinator's epoch (bumped on every promotion); echoed
+        /// by workers in `Result` so a deposed primary's frames fence.
+        epoch: u64,
         /// Opaque job payload (the CLI encodes graph + parameters here).
         job: Vec<u8>,
         /// Selections of all completed searches, in search order.
@@ -44,11 +112,14 @@ pub enum Msg {
     /// Coordinator → worker: lease of one work unit — evaluate seeds
     /// `start .. start + len` and fold them.
     Grant {
+        /// Issuing coordinator's epoch (echoed in the result).
+        epoch: u64,
         /// Search this fold belongs to (workers serve only their
         /// current search).
         search_id: u64,
-        /// Globally monotonic fold counter (one search may run many
-        /// folds — the bitwise walk folds two half-spaces per bit).
+        /// Monotonic fold counter *within this coordinator* (one search
+        /// may run many folds — the bitwise walk folds two half-spaces
+        /// per bit).
         fold_id: u64,
         /// Lease identity, echoed in the result.
         lease_id: u64,
@@ -59,17 +130,52 @@ pub enum Msg {
         /// Number of seeds in the unit.
         len: u64,
     },
-    /// Worker → coordinator: the grouping-invariant aggregate of one
-    /// unit.  Results for stale folds or already-done units are dropped
-    /// by the coordinator (idempotent re-issue).
+    /// Worker → coordinator: a batch of completed unit aggregates for
+    /// one `(epoch, search, fold)`.  Workers coalesce every result that
+    /// completes within the flush window into one frame; the coordinator
+    /// merges each entry independently (first copy per unit wins) and
+    /// drops whole batches whose epoch is stale (fencing).
     Result {
-        /// Echo of the grant's search.
+        /// Epoch of the grants being answered.
+        epoch: u64,
+        /// Echo of the grants' search.
         search_id: u64,
-        /// Echo of the grant's fold.
+        /// Echo of the grants' fold.
         fold_id: u64,
-        /// Echo of the grant's lease.
-        lease_id: u64,
-        /// Echo of the grant's unit (the dedup key).
+        /// The completed units (at least one).
+        batch: Vec<UnitResult>,
+    },
+    /// Coordinator → all peers: a search concluded with this selection;
+    /// workers and standbys adopt it and advance their replicas.
+    Chosen {
+        /// Epoch of the concluding coordinator.
+        epoch: u64,
+        /// The search that concluded.
+        search_id: u64,
+        /// Its outcome (trace included, so replicas report identically).
+        selection: SeedSelection,
+    },
+    /// Primary → standby: one work unit completed, with enough fold
+    /// geometry for the standby to rebuild the fold's `LeaseTable` after
+    /// a promotion and re-lease only what is still in flight.  The
+    /// stream is idempotent — every entry is self-describing and
+    /// deduplicates by `(search, fold_seq, unit)`.
+    Replicate {
+        /// Epoch of the replicating primary.
+        epoch: u64,
+        /// Search the fold belongs to.
+        search_id: u64,
+        /// Fold index *within the search* (deterministic across
+        /// replicas: both primaries count `fold_range` calls the same
+        /// way, unlike the coordinator-global `fold_id`).
+        fold_seq: u64,
+        /// First seed of the whole fold.
+        fold_start: u64,
+        /// Seed count of the whole fold.
+        fold_len: u64,
+        /// Seeds per unit in this fold.
+        unit_len: u64,
+        /// The completed unit.
         unit: u32,
         /// Sum of the unit's costs.
         sum: f64,
@@ -78,13 +184,21 @@ pub enum Msg {
         /// Lowest seed achieving the minimum.
         argmin: u64,
     },
-    /// Coordinator → all workers: a search concluded with this
-    /// selection; workers adopt it and advance their replica.
-    Chosen {
-        /// The search that concluded.
-        search_id: u64,
-        /// Its outcome (trace included, so replicas report identically).
-        selection: SeedSelection,
+    /// Primary → standby: deliberate leadership handover.  The standby
+    /// promotes itself immediately with the given epoch instead of
+    /// waiting out the crash-detection probation.
+    Promote {
+        /// The epoch the standby must adopt (the primary's epoch + 1).
+        epoch: u64,
+    },
+    /// Coordinator → peer: friendly handshake refusal (version
+    /// mismatch, or a standby that has not been promoted yet).  The
+    /// peer must close the connection and report `reason`.
+    Refuse {
+        /// The protocol version this coordinator speaks.
+        required_version: u32,
+        /// Human-readable explanation.
+        reason: String,
     },
     /// Worker → coordinator: liveness heartbeat (sent when idle).
     Ping,
@@ -141,17 +255,20 @@ impl Msg {
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc::default();
         match self {
-            Msg::Hello { version } => {
+            Msg::Hello { version, role } => {
                 e.u8(T_HELLO);
                 e.u32(*version);
+                e.u8(role.to_u8());
             }
             Msg::Welcome {
                 worker_id,
+                epoch,
                 job,
                 history,
             } => {
                 e.u8(T_WELCOME);
                 e.u64(*worker_id);
+                e.u64(*epoch);
                 e.bytes(job);
                 e.u32(history.len() as u32);
                 for s in history {
@@ -159,6 +276,7 @@ impl Msg {
                 }
             }
             Msg::Grant {
+                epoch,
                 search_id,
                 fold_id,
                 lease_id,
@@ -167,6 +285,7 @@ impl Msg {
                 len,
             } => {
                 e.u8(T_GRANT);
+                e.u64(*epoch);
                 e.u64(*search_id);
                 e.u64(*fold_id);
                 e.u64(*lease_id);
@@ -175,30 +294,69 @@ impl Msg {
                 e.u64(*len);
             }
             Msg::Result {
+                epoch,
                 search_id,
                 fold_id,
-                lease_id,
+                batch,
+            } => {
+                e.u8(T_RESULT);
+                e.u64(*epoch);
+                e.u64(*search_id);
+                e.u64(*fold_id);
+                e.u32(batch.len() as u32);
+                for r in batch {
+                    e.u64(r.lease_id);
+                    e.u32(r.unit);
+                    e.f64(r.sum);
+                    e.f64(r.min);
+                    e.u64(r.argmin);
+                }
+            }
+            Msg::Chosen {
+                epoch,
+                search_id,
+                selection,
+            } => {
+                e.u8(T_CHOSEN);
+                e.u64(*epoch);
+                e.u64(*search_id);
+                put_selection(&mut e, selection);
+            }
+            Msg::Replicate {
+                epoch,
+                search_id,
+                fold_seq,
+                fold_start,
+                fold_len,
+                unit_len,
                 unit,
                 sum,
                 min,
                 argmin,
             } => {
-                e.u8(T_RESULT);
+                e.u8(T_REPLICATE);
+                e.u64(*epoch);
                 e.u64(*search_id);
-                e.u64(*fold_id);
-                e.u64(*lease_id);
+                e.u64(*fold_seq);
+                e.u64(*fold_start);
+                e.u64(*fold_len);
+                e.u64(*unit_len);
                 e.u32(*unit);
                 e.f64(*sum);
                 e.f64(*min);
                 e.u64(*argmin);
             }
-            Msg::Chosen {
-                search_id,
-                selection,
+            Msg::Promote { epoch } => {
+                e.u8(T_PROMOTE);
+                e.u64(*epoch);
+            }
+            Msg::Refuse {
+                required_version,
+                reason,
             } => {
-                e.u8(T_CHOSEN);
-                e.u64(*search_id);
-                put_selection(&mut e, selection);
+                e.u8(T_REFUSE);
+                e.u32(*required_version);
+                e.bytes(reason.as_bytes());
             }
             Msg::Ping => e.u8(T_PING),
             Msg::Bye => e.u8(T_BYE),
@@ -210,9 +368,21 @@ impl Msg {
     pub fn decode(buf: &[u8]) -> io::Result<Msg> {
         let mut d = Dec::new(buf);
         let msg = match d.u8()? {
-            T_HELLO => Msg::Hello { version: d.u32()? },
+            T_HELLO => {
+                let version = d.u32()?;
+                // v1 Hello carries no role byte; decode it as a worker
+                // so the handshake can refuse it with a reason instead
+                // of a silent hangup.
+                let role = if d.done() {
+                    Role::Worker
+                } else {
+                    Role::from_u8(d.u8()?)?
+                };
+                Msg::Hello { version, role }
+            }
             T_WELCOME => {
                 let worker_id = d.u64()?;
+                let epoch = d.u64()?;
                 let job = d.bytes()?;
                 let n = d.u32()? as usize;
                 if n > 1 << 24 {
@@ -227,11 +397,13 @@ impl Msg {
                 }
                 Msg::Welcome {
                     worker_id,
+                    epoch,
                     job,
                     history,
                 }
             }
             T_GRANT => Msg::Grant {
+                epoch: d.u64()?,
                 search_id: d.u64()?,
                 fold_id: d.u64()?,
                 lease_id: d.u64()?,
@@ -239,19 +411,68 @@ impl Msg {
                 start: d.u64()?,
                 len: d.u64()?,
             },
-            T_RESULT => Msg::Result {
+            T_RESULT => {
+                let epoch = d.u64()?;
+                let search_id = d.u64()?;
+                let fold_id = d.u64()?;
+                let n = d.u32()? as usize;
+                if n > 1 << 16 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "absurd result batch",
+                    ));
+                }
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    batch.push(UnitResult {
+                        lease_id: d.u64()?,
+                        unit: d.u32()?,
+                        sum: d.f64()?,
+                        min: d.f64()?,
+                        argmin: d.u64()?,
+                    });
+                }
+                Msg::Result {
+                    epoch,
+                    search_id,
+                    fold_id,
+                    batch,
+                }
+            }
+            T_CHOSEN => Msg::Chosen {
+                epoch: d.u64()?,
                 search_id: d.u64()?,
-                fold_id: d.u64()?,
-                lease_id: d.u64()?,
+                selection: get_selection(&mut d)?,
+            },
+            T_REPLICATE => Msg::Replicate {
+                epoch: d.u64()?,
+                search_id: d.u64()?,
+                fold_seq: d.u64()?,
+                fold_start: d.u64()?,
+                fold_len: d.u64()?,
+                unit_len: d.u64()?,
                 unit: d.u32()?,
                 sum: d.f64()?,
                 min: d.f64()?,
                 argmin: d.u64()?,
             },
-            T_CHOSEN => Msg::Chosen {
-                search_id: d.u64()?,
-                selection: get_selection(&mut d)?,
-            },
+            T_PROMOTE => Msg::Promote { epoch: d.u64()? },
+            T_REFUSE => {
+                let required_version = d.u32()?;
+                let raw = d.bytes()?;
+                if raw.len() > 1 << 10 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "absurd refusal reason",
+                    ));
+                }
+                let reason = String::from_utf8(raw)
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 reason"))?;
+                Msg::Refuse {
+                    required_version,
+                    reason,
+                }
+            }
             T_PING => Msg::Ping,
             T_BYE => Msg::Bye,
             _ => {
@@ -296,13 +517,20 @@ mod tests {
     fn all_messages_roundtrip() {
         roundtrip(Msg::Hello {
             version: PROTO_VERSION,
+            role: Role::Worker,
+        });
+        roundtrip(Msg::Hello {
+            version: PROTO_VERSION,
+            role: Role::Standby,
         });
         roundtrip(Msg::Welcome {
             worker_id: 3,
+            epoch: 1,
             job: b"p edge 5 4".to_vec(),
             history: vec![sel(1), sel(200)],
         });
         roundtrip(Msg::Grant {
+            epoch: 1,
             search_id: 9,
             fold_id: 41,
             lease_id: 7,
@@ -311,20 +539,66 @@ mod tests {
             len: 32,
         });
         roundtrip(Msg::Result {
+            epoch: 1,
             search_id: 9,
             fold_id: 41,
-            lease_id: 7,
-            unit: 2,
-            sum: 12.0,
-            min: 0.0,
-            argmin: 65,
+            batch: vec![
+                UnitResult {
+                    lease_id: 7,
+                    unit: 2,
+                    sum: 12.0,
+                    min: 0.0,
+                    argmin: 65,
+                },
+                UnitResult {
+                    lease_id: 8,
+                    unit: 3,
+                    sum: 9.0,
+                    min: 1.0,
+                    argmin: 99,
+                },
+            ],
         });
         roundtrip(Msg::Chosen {
+            epoch: 2,
             search_id: 9,
             selection: sel(65),
         });
+        roundtrip(Msg::Replicate {
+            epoch: 1,
+            search_id: 9,
+            fold_seq: 3,
+            fold_start: 0,
+            fold_len: 256,
+            unit_len: 32,
+            unit: 5,
+            sum: 77.0,
+            min: 2.0,
+            argmin: 171,
+        });
+        roundtrip(Msg::Promote { epoch: 2 });
+        roundtrip(Msg::Refuse {
+            required_version: 2,
+            reason: "protocol version 1 not supported".into(),
+        });
         roundtrip(Msg::Ping);
         roundtrip(Msg::Bye);
+    }
+
+    #[test]
+    fn v1_hello_still_decodes_as_worker() {
+        // A v1 peer's Hello is tag + u32 version, no role byte.  It must
+        // decode (as a worker) so the coordinator can send a friendly
+        // Refuse instead of hanging up on an opaque decode error.
+        let mut wire = vec![T_HELLO];
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        match Msg::decode(&wire).unwrap() {
+            Msg::Hello { version, role } => {
+                assert_eq!(version, 1);
+                assert_eq!(role, Role::Worker);
+            }
+            other => panic!("expected Hello, got {other:?}"),
+        }
     }
 
     #[test]
@@ -332,6 +606,7 @@ mod tests {
         assert!(Msg::decode(&[]).is_err());
         assert!(Msg::decode(&[99]).is_err(), "unknown tag");
         let mut wire = Msg::Grant {
+            epoch: 0,
             search_id: 1,
             fold_id: 2,
             lease_id: 3,
@@ -348,6 +623,65 @@ mod tests {
     }
 
     #[test]
+    fn malformed_replicate_and_promote_are_rejected() {
+        // Truncation at every prefix must error cleanly, exactly like
+        // the seven v1 messages.
+        let repl = Msg::Replicate {
+            epoch: 1,
+            search_id: 2,
+            fold_seq: 3,
+            fold_start: 0,
+            fold_len: 128,
+            unit_len: 32,
+            unit: 1,
+            sum: 5.0,
+            min: 0.5,
+            argmin: 40,
+        }
+        .encode();
+        for cut in 1..repl.len() {
+            assert!(Msg::decode(&repl[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut long = repl.clone();
+        long.push(0);
+        assert!(Msg::decode(&long).is_err(), "trailing byte");
+
+        let promote = Msg::Promote { epoch: 9 }.encode();
+        for cut in 1..promote.len() {
+            assert!(Msg::decode(&promote[..cut]).is_err(), "cut at {cut}");
+        }
+        // A role byte outside {0, 1} is rejected, not defaulted.
+        let mut hello = Msg::Hello {
+            version: PROTO_VERSION,
+            role: Role::Standby,
+        }
+        .encode();
+        *hello.last_mut().unwrap() = 7;
+        assert!(Msg::decode(&hello).is_err(), "unknown role");
+        // Refuse with a non-UTF-8 reason is rejected.
+        let mut refuse = Msg::Refuse {
+            required_version: 2,
+            reason: "ok".into(),
+        }
+        .encode();
+        let n = refuse.len();
+        refuse[n - 1] = 0xFF;
+        refuse[n - 2] = 0xFE;
+        assert!(Msg::decode(&refuse).is_err(), "invalid utf8 reason");
+    }
+
+    #[test]
+    fn result_batch_rejects_absurd_lengths() {
+        let mut e = Enc::default();
+        e.u8(T_RESULT);
+        e.u64(1);
+        e.u64(2);
+        e.u64(3);
+        e.u32(u32::MAX); // absurd batch count
+        assert!(Msg::decode(&e.0).is_err());
+    }
+
+    #[test]
     fn selection_roundtrip_is_bit_exact() {
         // f64 fields travel as raw bits: NaN-free exactness matters for
         // the bit-identity guarantee.
@@ -360,6 +694,7 @@ mod tests {
             trace: vec![(0, 1.0 / 3.0, 2.0 / 3.0)],
         };
         let m = Msg::Chosen {
+            epoch: 1,
             search_id: 0,
             selection: s.clone(),
         };

@@ -4,21 +4,33 @@
 //! (reconstructed from the `Welcome` job bytes) with a
 //! [`WorkerSearcher`] as its seed-search backend.  Each search, instead
 //! of folding locally, the backend sits in a serve loop: evaluate every
-//! `Grant` it is leased, return `Result`s, and conclude the search when
-//! the coordinator's `Chosen` arrives — which keeps the replica
-//! lock-step with the fleet.
+//! `Grant` it is leased, return batched `Result`s, and conclude the
+//! search when the coordinator's `Chosen` arrives — which keeps the
+//! replica lock-step with the fleet.
 //!
-//! Failure handling: any connection loss triggers reconnection with
-//! exponential backoff plus deterministic jitter; the fresh `Welcome`
-//! carries the full selection history, so a worker that was dark
-//! through any number of searches fast-forwards instead of desyncing.
-//! When the reconnect budget is exhausted (coordinator gone for good)
-//! the worker flips to **standalone** mode and finishes its replica
-//! with the in-process search — same coloring, no panic.
+//! Failure handling: the worker carries an **ordered coordinator list**
+//! (primary first, standbys after).  Any connection loss triggers a
+//! reconnect sweep across the whole list with exponential backoff plus
+//! deterministic jitter; the fresh `Welcome` carries the full selection
+//! history, so a worker that was dark through any number of searches —
+//! or that re-homed from a dead primary to a freshly promoted standby —
+//! fast-forwards instead of desyncing.  An unpromoted standby answers
+//! the handshake with a friendly `Refuse`, which counts as a failed
+//! attempt and keeps the sweep cycling until promotion opens the door.
+//! When the reconnect budget is exhausted (every coordinator gone for
+//! good) the worker flips to **standalone** mode and finishes its
+//! replica with the in-process search — same coloring, no panic.
+//!
+//! Result batching: completed units accumulate in a small batch that is
+//! flushed as one `Result` frame when it reaches the pipelining depth,
+//! when the `(epoch, search, fold)` key changes, when the
+//! `result_flush_ms` window expires, or right before a heartbeat —
+//! cutting frame count roughly `max_outstanding`-fold on chatty links
+//! while dedup-by-unit-id semantics stay exactly as before.
 
 use crate::chaos::SplitMix64;
 use crate::frame::{write_frame, FrameReader};
-use crate::proto::{Msg, PROTO_VERSION};
+use crate::proto::{Msg, Role, UnitResult, PROTO_VERSION};
 use crate::DistConfig;
 use parcolor_core::{BlockEval, SeedSearcher, SimScratch};
 use parcolor_prg::{
@@ -29,7 +41,9 @@ use std::net::{Shutdown, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Socket read timeout — the worker's poll tick while idle.
+/// Socket read timeout — the worker's poll tick while idle.  With a
+/// result batch pending the tick shrinks to `result_flush_ms` so the
+/// flush window is honored at its own granularity.
 const READ_TICK_MS: u64 = 25;
 
 /// Worker-side counters (tests assert on these).
@@ -37,6 +51,8 @@ const READ_TICK_MS: u64 = 25;
 pub struct WorkerStats {
     /// Leases evaluated and answered.
     pub served_units: u64,
+    /// `Result` frames sent (≤ `served_units`; batching coalesces).
+    pub result_frames: u64,
     /// Successful (re)connections after the first.
     pub reconnects: u64,
     /// Heartbeats sent.
@@ -47,25 +63,51 @@ pub struct WorkerStats {
     pub standalone_searches: u64,
 }
 
-struct Conn {
-    reader: FrameReader,
-    writer: TcpStream,
+pub(crate) struct Conn {
+    pub(crate) reader: FrameReader,
+    pub(crate) writer: TcpStream,
     /// Milliseconds of consecutive silence from the coordinator.
-    idle_ms: u64,
+    pub(crate) idle_ms: u64,
     /// Milliseconds since we last sent anything (heartbeat pacing).
-    since_send_ms: u64,
+    pub(crate) since_send_ms: u64,
+    /// The tick currently configured on the socket.
+    tick_ms: u64,
+}
+
+impl Conn {
+    fn set_tick(&mut self, tick_ms: u64) {
+        if self.tick_ms != tick_ms
+            && self
+                .reader
+                .set_read_timeout(Some(Duration::from_millis(tick_ms)))
+                .is_ok()
+        {
+            self.tick_ms = tick_ms;
+        }
+    }
 }
 
 struct Inner {
-    addr: String,
+    addrs: Vec<String>,
+    /// Index of the coordinator the current/last connection used.
+    addr_idx: usize,
     cfg: DistConfig,
     conn: Option<Conn>,
     job: Vec<u8>,
     history: Vec<SeedSelection>,
+    /// Fencing epoch from the last `Welcome` (observability; fencing
+    /// itself is coordinator-side — results echo their grant's epoch).
+    epoch: u64,
     next_search: u64,
     standalone: bool,
     failed_attempts: u32,
     jitter: SplitMix64,
+    /// Completed units awaiting one coalesced `Result` frame.
+    batch: Vec<UnitResult>,
+    /// `(epoch, search_id, fold_id)` every batched unit shares.
+    batch_key: Option<(u64, u64, u64)>,
+    /// Milliseconds the oldest batched unit has waited.
+    batch_age_ms: u64,
     stats: WorkerStats,
 }
 
@@ -76,7 +118,14 @@ pub struct WorkerSearcher {
     inner: Mutex<Inner>,
 }
 
-fn connect_once(addr: &str, _cfg: &DistConfig) -> io::Result<(Conn, Vec<u8>, Vec<SeedSelection>)> {
+/// What a successful handshake yields: the connection, the `Welcome`
+/// epoch, the job bytes, and the selection history.
+pub(crate) type Handshake = (Conn, u64, Vec<u8>, Vec<SeedSelection>);
+
+/// One connect + handshake as `role`.  A `Refuse` answer (version
+/// mismatch, or an unpromoted standby) becomes a friendly
+/// `ConnectionRefused` error carrying the peer's reason.
+pub(crate) fn connect_once(addr: &str, _cfg: &DistConfig, role: Role) -> io::Result<Handshake> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(Duration::from_millis(READ_TICK_MS)))?;
@@ -85,6 +134,7 @@ fn connect_once(addr: &str, _cfg: &DistConfig) -> io::Result<(Conn, Vec<u8>, Vec
         &mut writer,
         &Msg::Hello {
             version: PROTO_VERSION,
+            role,
         }
         .encode(),
     )?;
@@ -103,15 +153,29 @@ fn connect_once(addr: &str, _cfg: &DistConfig) -> io::Result<(Conn, Vec<u8>, Vec
         }
     };
     match Msg::decode(&frame)? {
-        Msg::Welcome { job, history, .. } => Ok((
+        Msg::Welcome {
+            epoch,
+            job,
+            history,
+            ..
+        } => Ok((
             Conn {
                 reader,
                 writer,
                 idle_ms: 0,
                 since_send_ms: 0,
+                tick_ms: READ_TICK_MS,
             },
+            epoch,
             job,
             history,
+        )),
+        Msg::Refuse {
+            required_version,
+            reason,
+        } => Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!("coordinator (protocol v{required_version}) refused handshake: {reason}"),
         )),
         _ => Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -120,23 +184,49 @@ fn connect_once(addr: &str, _cfg: &DistConfig) -> io::Result<(Conn, Vec<u8>, Vec
     }
 }
 
+/// One sweep over the coordinator list starting at `start_idx`.
+/// Returns the index of the address that answered, with its handshake.
+fn connect_sweep(
+    addrs: &[String],
+    start_idx: usize,
+    cfg: &DistConfig,
+) -> io::Result<(usize, Handshake)> {
+    let mut last_err = None;
+    for k in 0..addrs.len() {
+        let i = (start_idx + k) % addrs.len();
+        match connect_once(&addrs[i], cfg, Role::Worker) {
+            Ok(handshake) => return Ok((i, handshake)),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("empty coordinator list")))
+}
+
 impl Inner {
     fn drop_conn(&mut self) {
         if let Some(c) = self.conn.take() {
             let _ = c.writer.shutdown(Shutdown::Both);
         }
+        // Unflushed results die with the connection; the coordinator's
+        // lease table re-issues those units.
+        self.batch.clear();
+        self.batch_key = None;
+        self.batch_age_ms = 0;
     }
 
-    /// Adopt a (re)connection's history: the coordinator's record is
-    /// always a superset of ours (it appends before broadcasting).
+    /// Adopt a (re)connection's history: a live coordinator's record is
+    /// a superset of ours (it appends before broadcasting) — unless we
+    /// re-homed to a standby that lost the tail, in which case we keep
+    /// our longer record and the lock-step fast path rides it out.
     fn adopt_history(&mut self, history: Vec<SeedSelection>) {
         if history.len() > self.history.len() {
             self.history = history;
         }
     }
 
-    /// One backoff-then-connect attempt.  Flips to standalone when the
-    /// consecutive-failure budget runs out.
+    /// One backoff-then-sweep attempt across the coordinator list.
+    /// Flips to standalone when the consecutive-failure budget runs out
+    /// (each fully failed sweep counts once).
     fn reconnect(&mut self) {
         if self.failed_attempts >= self.cfg.max_reconnects {
             self.standalone = true;
@@ -150,9 +240,11 @@ impl Inner {
             .min(self.cfg.max_backoff_ms);
         let jitter = self.jitter.next_u64() % (base / 2 + 1);
         std::thread::sleep(Duration::from_millis(base + jitter));
-        match connect_once(&self.addr, &self.cfg) {
-            Ok((conn, _job, history)) => {
+        match connect_sweep(&self.addrs, self.addr_idx, &self.cfg) {
+            Ok((idx, (conn, epoch, _job, history))) => {
                 self.adopt_history(history);
+                self.addr_idx = idx;
+                self.epoch = epoch;
                 self.conn = Some(conn);
                 self.failed_attempts = 0;
                 self.stats.reconnects += 1;
@@ -165,28 +257,69 @@ impl Inner {
             }
         }
     }
+
+    /// Send the pending batch as one `Result` frame.
+    fn flush_batch(&mut self) {
+        let Some((epoch, search_id, fold_id)) = self.batch_key.take() else {
+            return;
+        };
+        let batch = std::mem::take(&mut self.batch);
+        self.batch_age_ms = 0;
+        if batch.is_empty() {
+            return;
+        }
+        let wire = Msg::Result {
+            epoch,
+            search_id,
+            fold_id,
+            batch,
+        }
+        .encode();
+        let Some(conn) = self.conn.as_mut() else {
+            return;
+        };
+        conn.since_send_ms = 0;
+        if write_frame(&mut conn.writer, &wire).is_err() {
+            self.drop_conn();
+            return;
+        }
+        self.stats.result_frames += 1;
+    }
 }
 
 impl WorkerSearcher {
-    /// Connect to a coordinator and complete the handshake, retrying
-    /// with backoff up to the configured budget.
-    pub fn connect(addr: &str, cfg: DistConfig) -> io::Result<WorkerSearcher> {
+    /// Connect to the first reachable coordinator in `addrs` (ordered:
+    /// primary first, standbys after) and complete the handshake,
+    /// retrying whole-list sweeps with backoff up to the configured
+    /// budget.
+    pub fn connect(addrs: &[String], cfg: DistConfig) -> io::Result<WorkerSearcher> {
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "empty coordinator list",
+            ));
+        }
         let mut jitter = SplitMix64::new(cfg.jitter_seed);
         let mut last_err = None;
         for attempt in 0..cfg.max_reconnects.max(1) {
-            match connect_once(addr, &cfg) {
-                Ok((conn, job, history)) => {
+            match connect_sweep(addrs, 0, &cfg) {
+                Ok((idx, (conn, epoch, job, history))) => {
                     return Ok(WorkerSearcher {
                         inner: Mutex::new(Inner {
-                            addr: addr.to_string(),
+                            addrs: addrs.to_vec(),
+                            addr_idx: idx,
                             cfg,
                             conn: Some(conn),
                             job,
                             history,
+                            epoch,
                             next_search: 0,
                             standalone: false,
                             failed_attempts: 0,
                             jitter,
+                            batch: Vec::new(),
+                            batch_key: None,
+                            batch_age_ms: 0,
                             stats: WorkerStats::default(),
                         }),
                     })
@@ -216,6 +349,11 @@ impl WorkerSearcher {
         self.inner.lock().unwrap().standalone
     }
 
+    /// The fencing epoch from the last `Welcome`.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().unwrap().epoch
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> WorkerStats {
         self.inner.lock().unwrap().stats
@@ -224,6 +362,7 @@ impl WorkerSearcher {
     /// Send a best-effort `Bye` and close the connection.
     pub fn finish(&self) {
         let mut inner = self.inner.lock().unwrap();
+        inner.flush_batch();
         if let Some(c) = inner.conn.as_mut() {
             let _ = write_frame(&mut c.writer, &Msg::Bye.encode());
         }
@@ -275,7 +414,15 @@ impl SeedSearcher for WorkerSearcher {
             let msg = {
                 let cfg_hb = inner.cfg.heartbeat_timeout_ms;
                 let cfg_idle = inner.cfg.idle_reconnect_ms;
+                let flush_ms = inner.cfg.result_flush_ms;
+                let has_batch = !inner.batch.is_empty();
                 let conn = inner.conn.as_mut().expect("checked above");
+                conn.set_tick(if has_batch {
+                    flush_ms.clamp(1, READ_TICK_MS)
+                } else {
+                    READ_TICK_MS
+                });
+                let tick = conn.tick_ms;
                 match conn.reader.poll_frame() {
                     Ok(Some(frame)) => match Msg::decode(&frame) {
                         Ok(m) => {
@@ -288,18 +435,31 @@ impl SeedSearcher for WorkerSearcher {
                         }
                     },
                     Ok(None) => {
-                        conn.idle_ms += READ_TICK_MS;
-                        conn.since_send_ms += READ_TICK_MS;
+                        conn.idle_ms += tick;
+                        conn.since_send_ms += tick;
+                        let (idle, quiet) = (conn.idle_ms, conn.since_send_ms);
+                        if has_batch {
+                            inner.batch_age_ms += tick;
+                            if inner.batch_age_ms >= flush_ms {
+                                inner.flush_batch();
+                                continue;
+                            }
+                        }
                         // Heartbeat: one-way Ping whenever we've been
                         // quiet for a third of the eviction window.
-                        if conn.since_send_ms >= cfg_hb / 3 {
+                        if quiet >= cfg_hb / 3 {
+                            // Never heartbeat past pending results.
+                            inner.flush_batch();
+                            let Some(conn) = inner.conn.as_mut() else {
+                                continue;
+                            };
                             conn.since_send_ms = 0;
                             if write_frame(&mut conn.writer, &Msg::Ping.encode()).is_err() {
                                 inner.drop_conn();
                                 continue;
                             }
                             inner.stats.pings += 1;
-                        } else if conn.idle_ms >= cfg_idle {
+                        } else if idle >= cfg_idle {
                             // Dead air past the idle window: a Chosen
                             // may have been lost — resync via Welcome.
                             inner.drop_conn();
@@ -315,6 +475,7 @@ impl SeedSearcher for WorkerSearcher {
 
             match msg {
                 Some(Msg::Grant {
+                    epoch,
                     search_id,
                     fold_id,
                     lease_id,
@@ -337,30 +498,37 @@ impl SeedSearcher for WorkerSearcher {
                     }
                     let eval = |s: u64, c: &mut [f64], sc: &mut SimScratch| eval_block(s, c, sc);
                     let part = fold_seed_range_in(&mut pool[..w], start, len, &eval);
-                    let wire = Msg::Result {
-                        search_id,
-                        fold_id,
+                    let key = (epoch, search_id, fold_id);
+                    if inner.batch_key.is_some() && inner.batch_key != Some(key) {
+                        inner.flush_batch();
+                        if inner.conn.is_none() {
+                            continue;
+                        }
+                    }
+                    inner.batch_key = Some(key);
+                    inner.batch.push(UnitResult {
                         lease_id,
                         unit,
                         sum: part.sum,
                         min: part.min,
                         argmin: part.argmin,
-                    }
-                    .encode();
-                    let conn = inner.conn.as_mut().expect("serving");
-                    conn.since_send_ms = 0;
-                    if write_frame(&mut conn.writer, &wire).is_err() {
-                        inner.drop_conn();
-                        continue;
-                    }
+                    });
                     inner.stats.served_units += 1;
+                    if inner.batch.len() >= inner.cfg.max_outstanding.max(1) {
+                        inner.flush_batch();
+                    }
                 }
                 Some(Msg::Chosen {
                     search_id,
                     selection,
+                    ..
                 }) => {
                     let have = inner.history.len() as u64;
                     if search_id == have {
+                        // Results for a concluded search are moot.
+                        inner.batch.clear();
+                        inner.batch_key = None;
+                        inner.batch_age_ms = 0;
                         inner.history.push(selection);
                     } else if search_id > have {
                         // Gap: an earlier Chosen was lost in transit.
@@ -369,10 +537,14 @@ impl SeedSearcher for WorkerSearcher {
                     // search_id < have: duplicate broadcast, ignore.
                 }
                 Some(Msg::Bye) => {
-                    // Coordinator is shutting down.  If we still needed
-                    // this search, finish the replica locally.
+                    // Coordinator is leaving.  With standbys on the
+                    // list, re-home (a standby promotes on its primary's
+                    // death and serves the full history); with nowhere
+                    // else to go, finish the replica locally.
                     inner.drop_conn();
-                    inner.standalone = true;
+                    if inner.addrs.len() <= 1 {
+                        inner.standalone = true;
+                    }
                 }
                 Some(_) | None => {}
             }
@@ -380,17 +552,17 @@ impl SeedSearcher for WorkerSearcher {
     }
 }
 
-/// Connect to `addr`, fetch the job, and run `run(job, searcher)` —
-/// typically: decode the job, build the replica solver, and call
+/// Connect to the first reachable coordinator in `addrs`, fetch the
+/// job, and run `run(job, searcher)` — typically: decode the job, build
+/// the replica solver, and call
 /// `Solver::with_seed_searcher(searcher).solve(..)`.  Sends `Bye` when
-/// `run` returns.  Errors only if the initial connection never
-/// succeeds.
+/// `run` returns.  Errors only if no initial connection ever succeeds.
 pub fn run_worker<R>(
-    addr: &str,
+    addrs: &[String],
     cfg: DistConfig,
     run: impl FnOnce(&[u8], Arc<WorkerSearcher>) -> R,
 ) -> io::Result<R> {
-    let searcher = Arc::new(WorkerSearcher::connect(addr, cfg)?);
+    let searcher = Arc::new(WorkerSearcher::connect(addrs, cfg)?);
     let job = searcher.job();
     let out = run(&job, Arc::clone(&searcher));
     searcher.finish();

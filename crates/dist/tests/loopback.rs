@@ -66,6 +66,8 @@ fn test_cfg(min_workers: usize) -> DistConfig {
         max_backoff_ms: 100,
         max_reconnects: 5,
         idle_reconnect_ms: 400,
+        result_flush_ms: 3,
+        standby_reconnects: 3,
         jitter_seed: 0xD15C0,
     }
 }
@@ -102,6 +104,39 @@ fn bitwise_walk_distributes_identically() {
     }
     assert!(out.stats.remote_folds > 0);
     assert!(out.stats.local_units > 0, "deep bits should fold locally");
+}
+
+#[test]
+fn result_batching_coalesces_frames_and_stays_exact() {
+    // Satellite pin: the worker coalesces completed units into one
+    // `Result` frame per flush (depth, key-change, or window), and the
+    // coordinator's per-entry dedup keeps the merge exact.  With a
+    // lease depth of 4 the flush-at-depth path alone guarantees fewer
+    // frames than units.
+    let j = job(240, 1_200, 8, 8, "ex");
+    let expected = local_solution(&j);
+    let mut cfg = test_cfg(1);
+    cfg.max_outstanding = 4;
+    cfg.result_flush_ms = 10;
+    let out = solve_on_cluster(&j, decode, 1, &[None], cfg);
+    assert_eq!(out.coordinator.colors, expected, "{:?}", out.stats);
+    assert_eq!(
+        out.workers[0].as_ref().unwrap().colors,
+        expected,
+        "worker replica diverged"
+    );
+    let ws = out.worker_stats[0].as_ref().expect("worker stats");
+    assert!(
+        ws.served_units >= 8,
+        "worker should have served real work: {ws:?}"
+    );
+    assert!(
+        ws.result_frames < ws.served_units,
+        "batching must coalesce: {} frames for {} units",
+        ws.result_frames,
+        ws.served_units
+    );
+    assert_eq!(out.stats.duplicates, 0, "batching must not duplicate");
 }
 
 #[test]
@@ -221,7 +256,7 @@ fn orphaned_coordinator_worker_goes_standalone() {
             let cfg = cfg.clone();
             let j = &j;
             scope.spawn(move || {
-                run_worker(&addr, cfg, |job_bytes, searcher| {
+                run_worker(&[addr], cfg, |job_bytes, searcher| {
                     assert_eq!(job_bytes, &j[..], "welcome must carry the job");
                     let (inst, params) = decode(job_bytes);
                     let sol = Solver::deterministic(params)

@@ -1,16 +1,16 @@
-//! Scripted-peer protocol test: a hand-driven TCP client speaks the wire
-//! protocol directly and **double-sends every Result**.  The coordinator
-//! must merge each unit exactly once (`stats.duplicates` counts the
-//! rejected copies) and still select the bit-identical seed of the local
-//! path — the deterministic proof behind the re-issue safety argument.
+//! Scripted-peer protocol tests: hand-driven TCP clients speak the wire
+//! protocol directly to a real coordinator, exercising the merge/fence/
+//! evict edges no well-behaved worker produces — double-sent results,
+//! wrong-epoch batches, silent peers past the heartbeat deadline, and
+//! v1 handshakes.
 
 use parcolor_core::framework::{SeedSearcher, SimScratch};
 use parcolor_core::SeedStrategy;
 use parcolor_dist::frame::{write_frame, FrameReader};
-use parcolor_dist::proto::{Msg, PROTO_VERSION};
-use parcolor_dist::{DistConfig, DistCoordinator};
+use parcolor_dist::proto::{Msg, Role, UnitResult, PROTO_VERSION};
+use parcolor_dist::{DistConfig, DistCoordinator, WorkerSearcher};
 use parcolor_prg::{fold_seed_range_in, select_seed_blocks_n};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -22,11 +22,10 @@ fn eval(seed: u64, out: &mut [f64], _scratch: &mut SimScratch) {
     }
 }
 
-#[test]
-fn duplicated_results_are_merged_exactly_once() {
-    let cfg = DistConfig {
-        // Generous deadlines: nothing may expire or fall back locally —
-        // every unit must be served (and duplicated) by the script.
+/// Generous-deadline config: nothing expires or falls back locally
+/// unless a test wants it to.
+fn patient_cfg() -> DistConfig {
+    DistConfig {
         lease_timeout_ms: 10_000,
         heartbeat_timeout_ms: 10_000,
         local_patience_ms: 10_000,
@@ -37,13 +36,17 @@ fn duplicated_results_are_merged_exactly_once() {
         min_workers: 1,
         min_worker_wait_ms: 10_000,
         ..DistConfig::default()
-    };
-    let coordinator = Arc::new(
-        DistCoordinator::bind("127.0.0.1:0", b"duplicate-test".to_vec(), cfg).expect("bind"),
-    );
-    let addr = coordinator.local_addr();
+    }
+}
 
-    // Handshake by hand.
+struct ScriptedPeer {
+    reader: FrameReader,
+    writer: TcpStream,
+}
+
+/// Handshake by hand as a v2 worker; returns the peer and the Welcome's
+/// `(epoch, job, history_len)`.
+fn handshake(addr: std::net::SocketAddr) -> (ScriptedPeer, u64, Vec<u8>, usize) {
     let stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_millis(25)))
@@ -54,6 +57,7 @@ fn duplicated_results_are_merged_exactly_once() {
         &mut writer,
         &Msg::Hello {
             version: PROTO_VERSION,
+            role: Role::Worker,
         }
         .encode(),
     )
@@ -64,12 +68,26 @@ fn duplicated_results_are_merged_exactly_once() {
         }
     };
     match welcome {
-        Msg::Welcome { job, history, .. } => {
-            assert_eq!(job, b"duplicate-test");
-            assert!(history.is_empty());
-        }
+        Msg::Welcome {
+            epoch,
+            job,
+            history,
+            ..
+        } => (ScriptedPeer { reader, writer }, epoch, job, history.len()),
         other => panic!("expected Welcome, got {other:?}"),
     }
+}
+
+#[test]
+fn duplicated_results_are_merged_exactly_once() {
+    let coordinator = Arc::new(
+        DistCoordinator::bind("127.0.0.1:0", b"duplicate-test".to_vec(), patient_cfg())
+            .expect("bind"),
+    );
+    let (mut peer, epoch, job, history_len) = handshake(coordinator.local_addr());
+    assert_eq!(job, b"duplicate-test");
+    assert_eq!(history_len, 0);
+    assert_eq!(epoch, 1, "a primary starts at epoch 1");
     while coordinator.connected_workers() < 1 {
         std::thread::sleep(Duration::from_millis(1));
     }
@@ -87,11 +105,12 @@ fn duplicated_results_are_merged_exactly_once() {
     // Serve every grant — twice.
     let mut pool = vec![SimScratch::new(16)];
     let chosen = loop {
-        let Some(f) = reader.poll_frame().expect("peer read") else {
+        let Some(f) = peer.reader.poll_frame().expect("peer read") else {
             continue;
         };
         match Msg::decode(&f).expect("peer decode") {
             Msg::Grant {
+                epoch,
                 search_id,
                 fold_id,
                 lease_id,
@@ -101,16 +120,19 @@ fn duplicated_results_are_merged_exactly_once() {
             } => {
                 let agg = fold_seed_range_in(&mut pool, start, len, &eval);
                 let result = Msg::Result {
+                    epoch,
                     search_id,
                     fold_id,
-                    lease_id,
-                    unit,
-                    sum: agg.sum,
-                    min: agg.min,
-                    argmin: agg.argmin,
+                    batch: vec![UnitResult {
+                        lease_id,
+                        unit,
+                        sum: agg.sum,
+                        min: agg.min,
+                        argmin: agg.argmin,
+                    }],
                 };
-                write_frame(&mut writer, &result.encode()).unwrap();
-                write_frame(&mut writer, &result.encode()).unwrap();
+                write_frame(&mut peer.writer, &result.encode()).unwrap();
+                write_frame(&mut peer.writer, &result.encode()).unwrap();
             }
             Msg::Chosen { selection, .. } => break selection,
             Msg::Ping | Msg::Bye => {}
@@ -136,4 +158,243 @@ fn duplicated_results_are_merged_exactly_once() {
     );
     assert_eq!(stats.reissued, 0, "{stats:?}");
     coordinator.shutdown();
+}
+
+#[test]
+fn wrong_epoch_results_are_fenced_not_merged() {
+    let coordinator = Arc::new(
+        DistCoordinator::bind("127.0.0.1:0", b"fence-test".to_vec(), patient_cfg()).expect("bind"),
+    );
+    let (mut peer, _epoch, _job, _hist) = handshake(coordinator.local_addr());
+    while coordinator.connected_workers() < 1 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let solve = {
+        let coordinator = Arc::clone(&coordinator);
+        std::thread::spawn(move || {
+            SeedSearcher::select(&*coordinator, 8, SeedStrategy::Exhaustive, 2, 16, &eval)
+        })
+    };
+
+    // For every grant, first answer with a *stale-primary* epoch — the
+    // coordinator must drop the whole batch before dedup even looks at
+    // the unit — then with the real one.
+    let mut pool = vec![SimScratch::new(16)];
+    let chosen = loop {
+        let Some(f) = peer.reader.poll_frame().expect("peer read") else {
+            continue;
+        };
+        match Msg::decode(&f).expect("peer decode") {
+            Msg::Grant {
+                epoch,
+                search_id,
+                fold_id,
+                lease_id,
+                unit,
+                start,
+                len,
+            } => {
+                let agg = fold_seed_range_in(&mut pool, start, len, &eval);
+                let batch = vec![UnitResult {
+                    lease_id,
+                    unit,
+                    sum: agg.sum,
+                    min: agg.min,
+                    argmin: agg.argmin,
+                }];
+                // Poisoned copy: a *wrong aggregate* under a stale
+                // epoch.  If fencing failed to drop it, the merge would
+                // be corrupted and the selection assert below would
+                // catch it.
+                let stale = Msg::Result {
+                    epoch: epoch + 999,
+                    search_id,
+                    fold_id,
+                    batch: vec![UnitResult {
+                        lease_id,
+                        unit,
+                        sum: agg.sum + 1.0e6,
+                        min: -1.0e6,
+                        argmin: 0,
+                    }],
+                };
+                write_frame(&mut peer.writer, &stale.encode()).unwrap();
+                let good = Msg::Result {
+                    epoch,
+                    search_id,
+                    fold_id,
+                    batch,
+                };
+                write_frame(&mut peer.writer, &good.encode()).unwrap();
+            }
+            Msg::Chosen { selection, .. } => break selection,
+            Msg::Ping | Msg::Bye => {}
+            other => panic!("unexpected frame for scripted peer: {other:?}"),
+        }
+    };
+
+    let distributed = solve.join().expect("select must finish");
+    let expected =
+        select_seed_blocks_n(8, SeedStrategy::Exhaustive, 2, || SimScratch::new(16), eval);
+    assert_eq!(distributed, expected, "fencing failed: selection diverged");
+    assert_eq!(chosen, expected);
+
+    let stats = coordinator.stats();
+    assert!(
+        stats.fenced >= 8,
+        "every stale-epoch batch must be fenced: {stats:?}"
+    );
+    assert_eq!(stats.remote_units, 8, "{stats:?}");
+    assert_eq!(stats.duplicates, 0, "fencing runs before dedup: {stats:?}");
+    coordinator.shutdown();
+}
+
+#[test]
+fn silent_peer_is_evicted_and_its_leases_requeued() {
+    // A worker that handshakes, takes grants, then never sends another
+    // frame: the heartbeat sweep must evict it, orphan its in-flight
+    // leases back to the pending queue, and the solve must still finish
+    // (local fallback — the fleet is gone) with the exact selection.
+    let cfg = DistConfig {
+        heartbeat_timeout_ms: 150,
+        ..patient_cfg()
+    };
+    let coordinator =
+        Arc::new(DistCoordinator::bind("127.0.0.1:0", b"evict-test".to_vec(), cfg).expect("bind"));
+    let (mut peer, _epoch, _job, _hist) = handshake(coordinator.local_addr());
+    while coordinator.connected_workers() < 1 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let solve = {
+        let coordinator = Arc::clone(&coordinator);
+        std::thread::spawn(move || {
+            SeedSearcher::select(&*coordinator, 8, SeedStrategy::Exhaustive, 2, 16, &eval)
+        })
+    };
+
+    // Read until the first grant arrives (proving leases were issued to
+    // this peer), then fall silent past the heartbeat deadline.
+    loop {
+        match peer.reader.poll_frame() {
+            Ok(Some(f)) => {
+                if matches!(Msg::decode(&f), Ok(Msg::Grant { .. })) {
+                    break;
+                }
+            }
+            Ok(None) => continue,
+            Err(e) => panic!("grant never arrived: {e}"),
+        }
+    }
+
+    let distributed = solve.join().expect("select must finish despite silence");
+    let expected =
+        select_seed_blocks_n(8, SeedStrategy::Exhaustive, 2, || SimScratch::new(16), eval);
+    assert_eq!(distributed, expected, "eviction path diverged");
+
+    let stats = coordinator.stats();
+    assert_eq!(stats.evictions, 1, "silent peer must be evicted: {stats:?}");
+    assert!(
+        stats.orphaned >= 1,
+        "its in-flight leases must be orphaned and re-queued: {stats:?}"
+    );
+    assert_eq!(
+        stats.remote_units, 0,
+        "the silent peer served nothing: {stats:?}"
+    );
+    assert_eq!(
+        stats.local_units, 8,
+        "orphaned units must complete via local fallback: {stats:?}"
+    );
+    coordinator.shutdown();
+}
+
+#[test]
+fn v1_hello_gets_a_clean_version_refusal() {
+    let coordinator = Arc::new(
+        DistCoordinator::bind("127.0.0.1:0", b"v1-test".to_vec(), patient_cfg()).expect("bind"),
+    );
+    let stream = TcpStream::connect(coordinator.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(25)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = FrameReader::new(stream);
+    // A protocol-v1 Hello on the wire: tag byte 1, u32 version 1 — no
+    // role byte (v1 predates roles).
+    let mut v1_hello = vec![1u8];
+    v1_hello.extend_from_slice(&1u32.to_le_bytes());
+    write_frame(&mut writer, &v1_hello).unwrap();
+    let reply = loop {
+        match reader.poll_frame() {
+            Ok(Some(f)) => break Msg::decode(&f).expect("refusal must decode"),
+            Ok(None) => continue,
+            Err(e) => panic!("expected a Refuse frame, got connection error: {e}"),
+        }
+    };
+    match reply {
+        Msg::Refuse {
+            required_version,
+            reason,
+        } => {
+            assert_eq!(required_version, PROTO_VERSION);
+            assert!(
+                reason.contains("version"),
+                "reason must name the version mismatch: {reason:?}"
+            );
+        }
+        other => panic!("expected Refuse, got {other:?}"),
+    }
+    assert_eq!(
+        coordinator.connected_workers(),
+        0,
+        "a refused peer must not register"
+    );
+    coordinator.shutdown();
+}
+
+#[test]
+fn worker_surfaces_a_refusal_as_a_friendly_error() {
+    // A "coordinator" that refuses every handshake (what an unpromoted
+    // standby or a version-mismatched server sends): the worker's
+    // connect must fail with a readable error, not a panic or a hang.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        for _ in 0..4 {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            stream
+                .set_read_timeout(Some(Duration::from_millis(200)))
+                .ok();
+            let mut reader = FrameReader::new(stream.try_clone().unwrap());
+            let _ = reader.poll_frame(); // consume the Hello
+            let mut w = stream;
+            let _ = write_frame(
+                &mut w,
+                &Msg::Refuse {
+                    required_version: PROTO_VERSION,
+                    reason: "not primary: this coordinator is an unpromoted standby".into(),
+                }
+                .encode(),
+            );
+        }
+    });
+    let cfg = DistConfig {
+        max_reconnects: 2,
+        connect_backoff_ms: 1,
+        max_backoff_ms: 5,
+        ..DistConfig::default()
+    };
+    let err = WorkerSearcher::connect(&[addr.to_string()], cfg)
+        .err()
+        .expect("refused handshake must be an error");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("refused") && msg.contains("not primary"),
+        "error must carry the peer's reason: {msg:?}"
+    );
+    drop(server); // server thread exits on its own accept budget
 }
